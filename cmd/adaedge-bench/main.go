@@ -1,0 +1,134 @@
+// Command adaedge-bench regenerates the paper's evaluation figures.
+//
+// Usage:
+//
+//	adaedge-bench -exp all            # every experiment
+//	adaedge-bench -exp fig7           # one figure (fig2..fig15, scale)
+//	adaedge-bench -exp fig12 -segments 400 -budget 65536
+//
+// Output is the textual equivalent of each figure's series; EXPERIMENTS.md
+// records how the shapes compare with the paper.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: fig2,fig3,fig5,fig6,fig7,fig8,fig9,fig10,fig11,fig12,fig13,fig14,fig15,scale,headline,all")
+	segments := flag.Int("segments", 0, "stream length in segments (0 = experiment default)")
+	budget := flag.Int64("budget", 0, "offline storage budget in bytes (0 = default)")
+	model := flag.String("model", "", "fig7 model kind: dtree|rforest|knn|kmeans (default: all four)")
+	format := flag.String("format", "text", "output format: text|csv (csv supports fig2,3,5,6,7,8,9,10,11,12,13,14)")
+	flag.Parse()
+
+	w := os.Stdout
+	offCfg := experiments.OfflineConfig{StorageBytes: *budget, Segments: *segments}
+	asCSV := *format == "csv"
+	textW := w
+	if asCSV {
+		textW = nil // suppress the text rendering
+	}
+	emit := func(err error) {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	run := func(name string) {
+		switch name {
+		case "fig2":
+			rows := experiments.Fig2CompressionThroughput(textW, *segments)
+			if asCSV {
+				emit(experiments.WriteThroughputCSV(w, rows))
+			}
+		case "fig3":
+			rows := experiments.Fig3EgressRate(textW, *segments)
+			if asCSV {
+				emit(experiments.WriteEgressCSV(w, rows))
+			}
+		case "fig5":
+			res := experiments.Fig5DTreeUCI(textW, *segments)
+			if asCSV {
+				emit(experiments.WriteStaticSweepCSV(w, res))
+			}
+		case "fig6":
+			res := experiments.Fig6RForestUCR(textW, *segments)
+			if asCSV {
+				emit(experiments.WriteStaticSweepCSV(w, res))
+			}
+		case "fig7":
+			kinds := []string{"dtree", "rforest", "knn", "kmeans"}
+			if *model != "" {
+				kinds = []string{*model}
+			}
+			for _, k := range kinds {
+				res := experiments.Fig7OnlineML(textW, k, *segments)
+				if asCSV {
+					fmt.Fprintf(w, "# fig7 %s\n", k)
+					emit(experiments.WriteSweepCSV(w, res))
+				}
+			}
+		case "fig8":
+			res := experiments.Fig8SumQuery(textW, *segments)
+			if asCSV {
+				emit(experiments.WriteSweepCSV(w, res))
+			}
+		case "fig9":
+			res := experiments.Fig9MaxQuery(textW, *segments)
+			if asCSV {
+				emit(experiments.WriteSweepCSV(w, res))
+			}
+		case "fig10":
+			res := experiments.Fig10ComplexAggML(textW, *segments)
+			if asCSV {
+				emit(experiments.WriteSweepCSV(w, res))
+			}
+		case "fig11":
+			res := experiments.Fig11ComplexSpeedML(textW, *segments)
+			if asCSV {
+				emit(experiments.WriteSweepCSV(w, res))
+			}
+		case "fig12":
+			runs := experiments.Fig12Offline(textW, offCfg)
+			if asCSV {
+				emit(experiments.WriteOfflineCSV(w, runs))
+			}
+		case "fig13":
+			runs := experiments.Fig13Offline(textW, offCfg)
+			if asCSV {
+				emit(experiments.WriteOfflineCSV(w, runs))
+			}
+		case "fig14":
+			runs := experiments.Fig14HighFrequency(textW, offCfg)
+			if asCSV {
+				emit(experiments.WriteOfflineCSV(w, runs))
+			}
+		case "fig15":
+			experiments.Fig15aBaselines(w, *segments, 15)
+			experiments.Fig15bMAB(w, *segments, 15, nil)
+		case "scale":
+			experiments.Scalability(w, nil, *segments)
+		case "headline":
+			experiments.HeadlineClaims(w, *segments)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+		fmt.Fprintln(w)
+	}
+
+	if *exp == "all" {
+		for _, name := range []string{"fig2", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "scale", "headline"} {
+			fmt.Fprintf(w, "=== %s ===\n", name)
+			run(name)
+		}
+		return
+	}
+	run(*exp)
+}

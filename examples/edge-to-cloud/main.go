@@ -1,0 +1,88 @@
+// Edge-to-cloud scenario: the full transmission path. An edge device runs
+// online selection and ships the compressed segments over TCP to a cloud
+// collector, which decompresses them with the codec metadata carried in
+// each frame (paper §IV-B1: segments leave through a network protocol;
+// §IV-C: each segment carries its compression configuration).
+//
+// Run with: go run ./examples/edge-to-cloud
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+	"time"
+
+	"repro/internal/compress"
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/query"
+	"repro/internal/transport"
+)
+
+func main() {
+	// Cloud side: a collector that tallies decompressed points.
+	reg := compress.DefaultRegistry(4)
+	var mu sync.Mutex
+	var points int
+	var bytesIn int
+	collector := transport.NewCollector(reg, func(f transport.Frame, values []float64) {
+		mu.Lock()
+		points += len(values)
+		bytesIn += f.Enc.Size()
+		mu.Unlock()
+	})
+	addr, err := collector.Serve("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer collector.Close()
+
+	// Edge side: online engine + uplink.
+	engine, err := core.NewOnlineEngine(core.Config{
+		TargetRatioOverride: 0.15,
+		Objective:           core.AggTarget(query.Avg),
+		Seed:                1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	uplink, err := transport.Dial(addr.String())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	stream := datasets.NewCBFStream(datasets.CBFConfig{Seed: 4})
+	const segments = 200
+	for i := 0; i < segments; i++ {
+		series, label := stream.Next()
+		res, enc, err := engine.Process(series, label)
+		if err != nil {
+			log.Fatalf("segment %d: %v", i, err)
+		}
+		if err := uplink.Send(transport.Frame{ID: res.SegmentID, Label: label, Enc: enc}); err != nil {
+			log.Fatalf("send %d: %v", i, err)
+		}
+	}
+	if err := uplink.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Wait for the collector to drain the socket.
+	for deadline := time.Now().Add(5 * time.Second); collector.Frames() < segments; {
+		if time.Now().After(deadline) {
+			log.Fatalf("cloud received only %d/%d frames", collector.Frames(), segments)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	st := engine.Stats()
+	fmt.Printf("edge: %d segments at ratio %.3f (loss %.4f)\n",
+		st.Segments, st.OverallRatio(), st.MeanAccuracyLoss())
+	fmt.Printf("cloud: %d frames, %d points reconstructed from %.1f KB on the wire\n",
+		collector.Frames(), points, float64(bytesIn)/1024)
+	fmt.Printf("wire saving vs raw: %.1f%%\n",
+		100*(1-float64(bytesIn)/float64(points*8)))
+}

@@ -1,0 +1,278 @@
+// Package bandit implements the multi-armed bandit policies AdaEdge uses
+// for compression selection (paper §III-C): ε-greedy, optimistic ε-greedy
+// and UCB1, with either sample-average or constant-step-size (nonstationary)
+// value updates. Each arm corresponds to one compression candidate and the
+// reward is the configured optimization target.
+package bandit
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+)
+
+// Policy is a bandit algorithm over a fixed set of arms.
+type Policy interface {
+	// Select returns the next arm to play. allowed restricts the choice to
+	// arms i with allowed[i] == true; a nil mask permits every arm.
+	// Select returns -1 if no arm is allowed.
+	Select(allowed []bool) int
+	// Update feeds back the observed reward for an arm.
+	Update(arm int, reward float64)
+	// Estimates returns a copy of the current per-arm value estimates.
+	Estimates() []float64
+	// Counts returns a copy of the per-arm play counts.
+	Counts() []int
+	// Arms returns the number of arms.
+	Arms() int
+	// Reset restores the initial state.
+	Reset()
+}
+
+// Config parameterizes the bandit policies.
+type Config struct {
+	// Epsilon is the exploration probability for the ε-greedy policies.
+	// The paper uses 0.01 online and 0.1 offline.
+	Epsilon float64
+	// Optimism is the optimistic initial value estimate. Zero yields the
+	// plain ε-greedy policy; a high value pushes the policy to try every
+	// arm early (paper §III-C, "Optimistic ε-Greedy").
+	Optimism float64
+	// Step is the constant step size for nonstationary value updates.
+	// Zero selects sample-average updates. The paper defaults to 0.5 for
+	// data-shift cases (Fig 15).
+	Step float64
+	// UCBC is the exploration coefficient for UCB1 (usually sqrt(2)).
+	UCBC float64
+	// Seed makes exploration deterministic; 0 selects a fixed default.
+	Seed int64
+}
+
+func (c Config) rng() *rand.Rand {
+	seed := c.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return rand.New(rand.NewSource(seed))
+}
+
+// EpsilonGreedy plays the greedy arm with probability 1-ε and explores a
+// uniformly random arm otherwise. With Optimism > 0 it becomes the
+// optimistic ε-greedy variant used throughout the paper's evaluation.
+type EpsilonGreedy struct {
+	mu     sync.Mutex
+	cfg    Config
+	rng    *rand.Rand
+	values []float64
+	counts []int
+}
+
+// NewEpsilonGreedy builds the policy for the given arm count.
+func NewEpsilonGreedy(arms int, cfg Config) *EpsilonGreedy {
+	if arms <= 0 {
+		panic(fmt.Sprintf("bandit: invalid arm count %d", arms))
+	}
+	p := &EpsilonGreedy{cfg: cfg, rng: cfg.rng()}
+	p.values = make([]float64, arms)
+	p.counts = make([]int, arms)
+	p.init()
+	return p
+}
+
+func (p *EpsilonGreedy) init() {
+	for i := range p.values {
+		p.values[i] = p.cfg.Optimism
+		p.counts[i] = 0
+	}
+}
+
+// Arms implements Policy.
+func (p *EpsilonGreedy) Arms() int { return len(p.values) }
+
+// Select implements Policy.
+func (p *EpsilonGreedy) Select(allowed []bool) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	candidates := allowedArms(len(p.values), allowed)
+	if len(candidates) == 0 {
+		return -1
+	}
+	if p.rng.Float64() < p.cfg.Epsilon {
+		return candidates[p.rng.Intn(len(candidates))]
+	}
+	return argmaxIn(p.values, candidates, p.rng)
+}
+
+// Update implements Policy.
+func (p *EpsilonGreedy) Update(arm int, reward float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if arm < 0 || arm >= len(p.values) {
+		return
+	}
+	p.counts[arm]++
+	if p.cfg.Step > 0 {
+		p.values[arm] += p.cfg.Step * (reward - p.values[arm])
+		return
+	}
+	p.values[arm] += (reward - p.values[arm]) / float64(p.counts[arm])
+}
+
+// Estimates implements Policy.
+func (p *EpsilonGreedy) Estimates() []float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]float64, len(p.values))
+	copy(out, p.values)
+	return out
+}
+
+// Counts implements Policy.
+func (p *EpsilonGreedy) Counts() []int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]int, len(p.counts))
+	copy(out, p.counts)
+	return out
+}
+
+// Reset implements Policy.
+func (p *EpsilonGreedy) Reset() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.rng = p.cfg.rng()
+	p.init()
+}
+
+// UCB1 selects the arm maximizing value + c*sqrt(ln t / n_a), shifting from
+// exploration of under-played arms to exploitation as evidence accumulates.
+type UCB1 struct {
+	mu     sync.Mutex
+	cfg    Config
+	rng    *rand.Rand
+	values []float64
+	counts []int
+	total  int
+}
+
+// NewUCB1 builds the policy for the given arm count.
+func NewUCB1(arms int, cfg Config) *UCB1 {
+	if arms <= 0 {
+		panic(fmt.Sprintf("bandit: invalid arm count %d", arms))
+	}
+	if cfg.UCBC == 0 {
+		cfg.UCBC = math.Sqrt2
+	}
+	p := &UCB1{cfg: cfg, rng: cfg.rng()}
+	p.values = make([]float64, arms)
+	p.counts = make([]int, arms)
+	return p
+}
+
+// Arms implements Policy.
+func (p *UCB1) Arms() int { return len(p.values) }
+
+// Select implements Policy.
+func (p *UCB1) Select(allowed []bool) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	candidates := allowedArms(len(p.values), allowed)
+	if len(candidates) == 0 {
+		return -1
+	}
+	// Play each allowed arm once first.
+	for _, a := range candidates {
+		if p.counts[a] == 0 {
+			return a
+		}
+	}
+	best, bestScore := -1, math.Inf(-1)
+	lt := math.Log(float64(p.total))
+	for _, a := range candidates {
+		score := p.values[a] + p.cfg.UCBC*math.Sqrt(lt/float64(p.counts[a]))
+		if score > bestScore {
+			best, bestScore = a, score
+		}
+	}
+	return best
+}
+
+// Update implements Policy.
+func (p *UCB1) Update(arm int, reward float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if arm < 0 || arm >= len(p.values) {
+		return
+	}
+	p.counts[arm]++
+	p.total++
+	if p.cfg.Step > 0 {
+		p.values[arm] += p.cfg.Step * (reward - p.values[arm])
+		return
+	}
+	p.values[arm] += (reward - p.values[arm]) / float64(p.counts[arm])
+}
+
+// Estimates implements Policy.
+func (p *UCB1) Estimates() []float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]float64, len(p.values))
+	copy(out, p.values)
+	return out
+}
+
+// Counts implements Policy.
+func (p *UCB1) Counts() []int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]int, len(p.counts))
+	copy(out, p.counts)
+	return out
+}
+
+// Reset implements Policy.
+func (p *UCB1) Reset() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.rng = p.cfg.rng()
+	for i := range p.values {
+		p.values[i] = 0
+		p.counts[i] = 0
+	}
+	p.total = 0
+}
+
+// allowedArms expands the mask into a candidate index list.
+func allowedArms(n int, allowed []bool) []int {
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if allowed == nil || (i < len(allowed) && allowed[i]) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// argmaxIn returns the candidate with the highest value, breaking ties
+// uniformly at random so early identical estimates don't bias toward low
+// indices.
+func argmaxIn(values []float64, candidates []int, rng *rand.Rand) int {
+	best := math.Inf(-1)
+	var ties []int
+	for _, a := range candidates {
+		switch {
+		case values[a] > best:
+			best = values[a]
+			ties = ties[:0]
+			ties = append(ties, a)
+		case values[a] == best:
+			ties = append(ties, a)
+		}
+	}
+	if len(ties) == 1 {
+		return ties[0]
+	}
+	return ties[rng.Intn(len(ties))]
+}

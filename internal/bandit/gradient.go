@@ -1,0 +1,140 @@
+package bandit
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+)
+
+// Gradient implements the gradient bandit algorithm (Sutton & Barto
+// §2.8), which the paper lists among the MAB variations (§III-C). Instead
+// of value estimates it learns per-arm preferences H(a) and samples from
+// their softmax; preferences move by alpha·(R − baseline)·(1{a} − π(a)),
+// with the running mean reward as baseline. Included as an extension so
+// the selection layer can be swapped beyond ε-greedy/UCB.
+type Gradient struct {
+	mu    sync.Mutex
+	cfg   Config
+	rng   *rand.Rand
+	prefs []float64
+	count []int
+	// alpha is the preference step size (cfg.Step, default 0.1).
+	alpha    float64
+	meanR    float64
+	observed int
+}
+
+// NewGradient builds the policy for the given arm count.
+func NewGradient(arms int, cfg Config) *Gradient {
+	if arms <= 0 {
+		panic("bandit: invalid arm count")
+	}
+	alpha := cfg.Step
+	if alpha <= 0 {
+		alpha = 0.1
+	}
+	return &Gradient{
+		cfg:   cfg,
+		rng:   cfg.rng(),
+		prefs: make([]float64, arms),
+		count: make([]int, arms),
+		alpha: alpha,
+	}
+}
+
+// Arms implements Policy.
+func (p *Gradient) Arms() int { return len(p.prefs) }
+
+// softmax returns the action distribution restricted to the candidates.
+func (p *Gradient) softmax(candidates []int) []float64 {
+	maxPref := math.Inf(-1)
+	for _, a := range candidates {
+		if p.prefs[a] > maxPref {
+			maxPref = p.prefs[a]
+		}
+	}
+	probs := make([]float64, len(candidates))
+	var z float64
+	for i, a := range candidates {
+		probs[i] = math.Exp(p.prefs[a] - maxPref)
+		z += probs[i]
+	}
+	for i := range probs {
+		probs[i] /= z
+	}
+	return probs
+}
+
+// Select implements Policy: samples an arm from the softmax distribution.
+func (p *Gradient) Select(allowed []bool) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	candidates := allowedArms(len(p.prefs), allowed)
+	if len(candidates) == 0 {
+		return -1
+	}
+	probs := p.softmax(candidates)
+	u := p.rng.Float64()
+	acc := 0.0
+	for i, pr := range probs {
+		acc += pr
+		if u < acc {
+			return candidates[i]
+		}
+	}
+	return candidates[len(candidates)-1]
+}
+
+// Update implements Policy.
+func (p *Gradient) Update(arm int, reward float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if arm < 0 || arm >= len(p.prefs) {
+		return
+	}
+	p.count[arm]++
+	p.observed++
+	p.meanR += (reward - p.meanR) / float64(p.observed)
+	all := allowedArms(len(p.prefs), nil)
+	probs := p.softmax(all)
+	adv := reward - p.meanR
+	for i, a := range all {
+		if a == arm {
+			p.prefs[a] += p.alpha * adv * (1 - probs[i])
+		} else {
+			p.prefs[a] -= p.alpha * adv * probs[i]
+		}
+	}
+}
+
+// Estimates implements Policy: the current preferences (not values, but
+// the same "bigger is better" ordering).
+func (p *Gradient) Estimates() []float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]float64, len(p.prefs))
+	copy(out, p.prefs)
+	return out
+}
+
+// Counts implements Policy.
+func (p *Gradient) Counts() []int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]int, len(p.count))
+	copy(out, p.count)
+	return out
+}
+
+// Reset implements Policy.
+func (p *Gradient) Reset() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.rng = p.cfg.rng()
+	for i := range p.prefs {
+		p.prefs[i] = 0
+		p.count[i] = 0
+	}
+	p.meanR = 0
+	p.observed = 0
+}

@@ -1,0 +1,159 @@
+// Package bitio provides bit-granular readers and writers over byte slices.
+// It is the shared substrate for the bit-packed codecs (Gorilla, Chimp,
+// Sprintz, BUFF) in internal/compress.
+package bitio
+
+import (
+	"errors"
+)
+
+// ErrShortRead is returned when a Reader runs out of bits.
+var ErrShortRead = errors.New("bitio: not enough bits")
+
+// Writer accumulates bits most-significant-bit first into an internal buffer.
+// The zero value is ready to use.
+type Writer struct {
+	buf  []byte
+	bits uint8 // number of valid bits in the partial last byte [0,8)
+}
+
+// NewWriter returns a Writer with capacity pre-allocated for sizeHint bytes.
+func NewWriter(sizeHint int) *Writer {
+	return &Writer{buf: make([]byte, 0, sizeHint)}
+}
+
+// WriteBit appends one bit.
+func (w *Writer) WriteBit(bit bool) {
+	if w.bits == 0 {
+		w.buf = append(w.buf, 0)
+	}
+	if bit {
+		w.buf[len(w.buf)-1] |= 1 << (7 - w.bits)
+	}
+	w.bits = (w.bits + 1) & 7
+}
+
+// WriteBits appends the low n bits of v, most significant first. n must be
+// in [0,64].
+func (w *Writer) WriteBits(v uint64, n uint) {
+	if n == 0 {
+		return
+	}
+	if n < 64 {
+		v &= (1 << n) - 1
+	}
+	for n > 0 {
+		if w.bits == 0 {
+			w.buf = append(w.buf, 0)
+		}
+		free := uint(8 - w.bits)
+		take := n
+		if take > free {
+			take = free
+		}
+		chunk := byte(v >> (n - take))
+		w.buf[len(w.buf)-1] |= chunk << (free - take)
+		w.bits = (w.bits + uint8(take)) & 7
+		n -= take
+	}
+}
+
+// WriteByte appends a full byte (implements io.ByteWriter semantics).
+func (w *Writer) WriteByte(b byte) error {
+	w.WriteBits(uint64(b), 8)
+	return nil
+}
+
+// WriteUint64 appends all 64 bits of v.
+func (w *Writer) WriteUint64(v uint64) { w.WriteBits(v, 64) }
+
+// Len returns the current length in whole bytes (any partial byte counts).
+func (w *Writer) Len() int { return len(w.buf) }
+
+// BitLen returns the exact number of bits written.
+func (w *Writer) BitLen() int {
+	if w.bits == 0 {
+		return 8 * len(w.buf)
+	}
+	return 8*(len(w.buf)-1) + int(w.bits)
+}
+
+// Bytes returns the accumulated buffer. The final partial byte, if any, is
+// zero-padded. The returned slice aliases the writer's buffer.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Reset clears the writer for reuse.
+func (w *Writer) Reset() {
+	w.buf = w.buf[:0]
+	w.bits = 0
+}
+
+// Reader consumes bits most-significant-bit first from a byte slice.
+type Reader struct {
+	buf []byte
+	pos int   // byte position
+	bit uint8 // bit offset within buf[pos] [0,8)
+}
+
+// NewReader wraps data without copying.
+func NewReader(data []byte) *Reader {
+	return &Reader{buf: data}
+}
+
+// ReadBit consumes a single bit.
+func (r *Reader) ReadBit() (bool, error) {
+	if r.pos >= len(r.buf) {
+		return false, ErrShortRead
+	}
+	bit := r.buf[r.pos]&(1<<(7-r.bit)) != 0
+	r.bit++
+	if r.bit == 8 {
+		r.bit = 0
+		r.pos++
+	}
+	return bit, nil
+}
+
+// ReadBits consumes n bits (n in [0,64]) and returns them right-aligned.
+func (r *Reader) ReadBits(n uint) (uint64, error) {
+	var v uint64
+	for n > 0 {
+		if r.pos >= len(r.buf) {
+			return 0, ErrShortRead
+		}
+		avail := uint(8 - r.bit)
+		take := n
+		if take > avail {
+			take = avail
+		}
+		chunk := r.buf[r.pos] >> (avail - take)
+		chunk &= (1 << take) - 1
+		v = v<<take | uint64(chunk)
+		r.bit += uint8(take)
+		if r.bit == 8 {
+			r.bit = 0
+			r.pos++
+		}
+		n -= take
+	}
+	return v, nil
+}
+
+// ReadUint64 consumes 64 bits.
+func (r *Reader) ReadUint64() (uint64, error) { return r.ReadBits(64) }
+
+// Remaining returns the number of unread bits.
+func (r *Reader) Remaining() int {
+	return 8*(len(r.buf)-r.pos) - int(r.bit)
+}
+
+// ZigZag encodes a signed integer so that small magnitudes (positive or
+// negative) map to small unsigned values, as used by Sprintz delta coding.
+func ZigZag(v int64) uint64 {
+	return uint64((v << 1) ^ (v >> 63))
+}
+
+// UnZigZag inverts ZigZag.
+func UnZigZag(u uint64) int64 {
+	return int64(u>>1) ^ -int64(u&1)
+}

@@ -1,0 +1,180 @@
+package bitio
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadBit(t *testing.T) {
+	w := NewWriter(4)
+	pattern := []bool{true, false, true, true, false, false, true, false, true}
+	for _, b := range pattern {
+		w.WriteBit(b)
+	}
+	if got := w.BitLen(); got != len(pattern) {
+		t.Fatalf("BitLen = %d, want %d", got, len(pattern))
+	}
+	r := NewReader(w.Bytes())
+	for i, want := range pattern {
+		got, err := r.ReadBit()
+		if err != nil {
+			t.Fatalf("ReadBit(%d): %v", i, err)
+		}
+		if got != want {
+			t.Errorf("bit %d = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestWriteReadBitsWidths(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	w := NewWriter(1024)
+	type field struct {
+		v uint64
+		n uint
+	}
+	var fields []field
+	for i := 0; i < 500; i++ {
+		n := uint(rng.Intn(64) + 1)
+		v := rng.Uint64()
+		if n < 64 {
+			v &= (1 << n) - 1
+		}
+		fields = append(fields, field{v, n})
+		w.WriteBits(v, n)
+	}
+	r := NewReader(w.Bytes())
+	for i, f := range fields {
+		got, err := r.ReadBits(f.n)
+		if err != nil {
+			t.Fatalf("ReadBits #%d: %v", i, err)
+		}
+		if got != f.v {
+			t.Fatalf("field %d (width %d) = %#x, want %#x", i, f.n, got, f.v)
+		}
+	}
+}
+
+func TestWriteBitsMasksHighBits(t *testing.T) {
+	w := NewWriter(2)
+	w.WriteBits(0xFFFF, 4) // only the low 4 bits should be written
+	r := NewReader(w.Bytes())
+	got, err := r.ReadBits(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0xF {
+		t.Fatalf("got %#x, want 0xF", got)
+	}
+}
+
+func TestWriteUint64RoundTrip(t *testing.T) {
+	w := NewWriter(8)
+	w.WriteBit(true) // misalign on purpose
+	w.WriteUint64(0xDEADBEEFCAFEBABE)
+	r := NewReader(w.Bytes())
+	if _, err := r.ReadBit(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.ReadUint64()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0xDEADBEEFCAFEBABE {
+		t.Fatalf("got %#x", got)
+	}
+}
+
+func TestReaderShortRead(t *testing.T) {
+	r := NewReader([]byte{0xAB})
+	if _, err := r.ReadBits(8); err != nil {
+		t.Fatalf("first read: %v", err)
+	}
+	if _, err := r.ReadBit(); err != ErrShortRead {
+		t.Fatalf("expected ErrShortRead, got %v", err)
+	}
+	if _, err := r.ReadBits(4); err != ErrShortRead {
+		t.Fatalf("expected ErrShortRead, got %v", err)
+	}
+}
+
+func TestReaderRemaining(t *testing.T) {
+	r := NewReader([]byte{0, 0})
+	if got := r.Remaining(); got != 16 {
+		t.Fatalf("Remaining = %d, want 16", got)
+	}
+	r.ReadBits(5)
+	if got := r.Remaining(); got != 11 {
+		t.Fatalf("Remaining = %d, want 11", got)
+	}
+}
+
+func TestWriterReset(t *testing.T) {
+	w := NewWriter(8)
+	w.WriteBits(0xFF, 8)
+	w.Reset()
+	if w.BitLen() != 0 || w.Len() != 0 {
+		t.Fatalf("writer not empty after Reset: bits=%d bytes=%d", w.BitLen(), w.Len())
+	}
+	w.WriteBits(0x3, 2)
+	if got := w.Bytes()[0]; got != 0xC0 {
+		t.Fatalf("first byte = %#x, want 0xC0", got)
+	}
+}
+
+func TestWriteByte(t *testing.T) {
+	w := NewWriter(4)
+	if err := w.WriteByte(0x5A); err != nil {
+		t.Fatal(err)
+	}
+	if w.Bytes()[0] != 0x5A {
+		t.Fatalf("got %#x", w.Bytes()[0])
+	}
+}
+
+func TestZigZagRoundTrip(t *testing.T) {
+	cases := []int64{0, 1, -1, 2, -2, 1 << 40, -(1 << 40), 1<<63 - 1, -1 << 63}
+	for _, v := range cases {
+		if got := UnZigZag(ZigZag(v)); got != v {
+			t.Errorf("zigzag round trip %d -> %d", v, got)
+		}
+	}
+}
+
+func TestZigZagOrdersSmallMagnitudes(t *testing.T) {
+	// |v| small should map to small codes: 0,-1,1,-2,2 -> 0,1,2,3,4
+	want := map[int64]uint64{0: 0, -1: 1, 1: 2, -2: 3, 2: 4}
+	for v, code := range want {
+		if got := ZigZag(v); got != code {
+			t.Errorf("ZigZag(%d) = %d, want %d", v, got, code)
+		}
+	}
+}
+
+func TestQuickZigZag(t *testing.T) {
+	f := func(v int64) bool { return UnZigZag(ZigZag(v)) == v }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickBitsRoundTrip(t *testing.T) {
+	f := func(vals []uint16) bool {
+		w := NewWriter(len(vals) * 2)
+		for _, v := range vals {
+			w.WriteBits(uint64(v), 16)
+		}
+		r := NewReader(w.Bytes())
+		for _, v := range vals {
+			got, err := r.ReadBits(16)
+			if err != nil || got != uint64(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,51 @@
+package compress
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// floatsToBytes serializes values little-endian, 8 bytes each.
+func floatsToBytes(values []float64) []byte {
+	out := make([]byte, 8*len(values))
+	for i, v := range values {
+		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(v))
+	}
+	return out
+}
+
+// bytesToFloats inverts floatsToBytes.
+func bytesToFloats(data []byte) ([]float64, error) {
+	if len(data)%8 != 0 {
+		return nil, ErrCorrupt
+	}
+	out := make([]float64, len(data)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[8*i:]))
+	}
+	return out, nil
+}
+
+// putUvarint appends v as a varint.
+func putUvarint(dst []byte, v uint64) []byte {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	return append(dst, tmp[:n]...)
+}
+
+// maxDecodePoints bounds per-segment decode allocations against corrupt or
+// hostile headers. AdaEdge segments hold a few hundred points; 1<<24
+// (128 MiB of float64s) is generous headroom while preventing a forged
+// count field from forcing multi-gigabyte allocations before any payload
+// validation runs.
+const maxDecodePoints = 1 << 24
+
+// readCount parses a point/record count header field and validates it
+// against the allocation bound.
+func readCount(data []byte) (count uint64, consumed int, err error) {
+	count, consumed = binary.Uvarint(data)
+	if consumed <= 0 || count == 0 || count > maxDecodePoints {
+		return 0, 0, ErrCorrupt
+	}
+	return count, consumed, nil
+}

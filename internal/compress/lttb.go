@@ -1,0 +1,225 @@
+package compress
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// LTTB implements Largest-Triangle-Three-Buckets downsampling (Steinarsson
+// 2013, a variant of the Visvalingam–Whyatt line-generalization algorithm
+// the paper cites): the series is divided into buckets and from each bucket
+// the point forming the largest triangle with its neighbours is kept. The
+// result preserves the visual shape of the signal, which makes it the
+// dashboard-query representation used by TVStore and TimescaleDB.
+//
+// Layout: uvarint n | uvarint k | k × (4B index, 4B value f32).
+type LTTB struct{}
+
+// NewLTTB returns the LTTB codec.
+func NewLTTB() *LTTB { return &LTTB{} }
+
+// Name implements Codec.
+func (*LTTB) Name() string { return "lttb" }
+
+const lttbPointBytes = 8
+
+// Compress implements Codec at ratio 1.
+func (l *LTTB) Compress(values []float64) (Encoded, error) {
+	return l.CompressRatio(values, 1.0)
+}
+
+// CompressRatio implements LossyCodec.
+func (l *LTTB) CompressRatio(values []float64, ratio float64) (Encoded, error) {
+	if len(values) == 0 {
+		return Encoded{}, ErrEmptyInput
+	}
+	if ratio <= 0 {
+		return Encoded{}, ErrRatioInfeasible
+	}
+	n := len(values)
+	budget := int(ratio * float64(8*n))
+	k := (budget - 8) / lttbPointBytes
+	if k > n {
+		k = n
+	}
+	if k < 2 {
+		if n == 1 {
+			k = 1
+		} else {
+			return Encoded{}, ErrRatioInfeasible
+		}
+	}
+	idxs := lttbSelect(values, k)
+	return lttbEncode(values, idxs, n), nil
+}
+
+// lttbSelect returns k indices chosen by the LTTB sweep (first and last
+// always included).
+func lttbSelect(values []float64, k int) []int {
+	n := len(values)
+	if k >= n {
+		idxs := make([]int, n)
+		for i := range idxs {
+			idxs[i] = i
+		}
+		return idxs
+	}
+	if k == 1 {
+		return []int{0}
+	}
+	idxs := make([]int, 0, k)
+	idxs = append(idxs, 0)
+	buckets := k - 2
+	prev := 0
+	for b := 0; b < buckets; b++ {
+		// Current bucket covers [start,end); the "next bucket" average is
+		// the third triangle vertex.
+		start := 1 + b*(n-2)/buckets
+		end := 1 + (b+1)*(n-2)/buckets
+		nstart, nend := end, 1+(b+2)*(n-2)/buckets
+		if b == buckets-1 {
+			nstart, nend = n-1, n
+		}
+		var avgX, avgY float64
+		for i := nstart; i < nend; i++ {
+			avgX += float64(i)
+			avgY += values[i]
+		}
+		cnt := float64(nend - nstart)
+		avgX /= cnt
+		avgY /= cnt
+
+		bestArea := -1.0
+		best := start
+		px, py := float64(prev), values[prev]
+		for i := start; i < end; i++ {
+			area := math.Abs((px-avgX)*(values[i]-py) - (px-float64(i))*(avgY-py))
+			if area > bestArea {
+				bestArea = area
+				best = i
+			}
+		}
+		idxs = append(idxs, best)
+		prev = best
+	}
+	idxs = append(idxs, n-1)
+	return idxs
+}
+
+func lttbEncode(values []float64, idxs []int, n int) Encoded {
+	out := putUvarint(nil, uint64(n))
+	out = putUvarint(out, uint64(len(idxs)))
+	var tmp [lttbPointBytes]byte
+	for _, i := range idxs {
+		binary.LittleEndian.PutUint32(tmp[0:], uint32(i))
+		binary.LittleEndian.PutUint32(tmp[4:], math.Float32bits(float32(values[i])))
+		out = append(out, tmp[:]...)
+	}
+	return Encoded{Codec: "lttb", Data: out, N: n}
+}
+
+// MinRatio implements LossyCodec: two endpoints.
+func (*LTTB) MinRatio(values []float64) float64 {
+	n := len(values)
+	if n == 0 {
+		return 1
+	}
+	return (8 + 2*lttbPointBytes) / float64(8*n)
+}
+
+// Decompress implements Codec: linear interpolation between kept points.
+func (l *LTTB) Decompress(enc Encoded) ([]float64, error) {
+	if enc.Codec != l.Name() {
+		return nil, ErrCodecMismatch
+	}
+	n, idxs, vals, err := lttbParse(enc.Data)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, n)
+	if len(idxs) == 1 {
+		for i := range out {
+			out[i] = vals[0]
+		}
+		return out, nil
+	}
+	for seg := 0; seg < len(idxs)-1; seg++ {
+		i0, i1 := idxs[seg], idxs[seg+1]
+		v0, v1 := vals[seg], vals[seg+1]
+		span := float64(i1 - i0)
+		for i := i0; i <= i1; i++ {
+			if span == 0 {
+				out[i] = v0
+				continue
+			}
+			t := float64(i-i0) / span
+			out[i] = v0 + t*(v1-v0)
+		}
+	}
+	// Extend flat past the recorded endpoints, if any gap remains.
+	for i := 0; i < idxs[0]; i++ {
+		out[i] = vals[0]
+	}
+	for i := idxs[len(idxs)-1] + 1; i < n; i++ {
+		out[i] = vals[len(vals)-1]
+	}
+	return out, nil
+}
+
+func lttbParse(data []byte) (n int, idxs []int, vals []float64, err error) {
+	count, c, err := readCount(data)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	data = data[c:]
+	k, c := binary.Uvarint(data)
+	if c <= 0 || k == 0 {
+		return 0, nil, nil, ErrCorrupt
+	}
+	data = data[c:]
+	if k > maxDecodePoints || uint64(len(data)) < k*lttbPointBytes {
+		return 0, nil, nil, ErrCorrupt
+	}
+	idxs = make([]int, k)
+	vals = make([]float64, k)
+	for i := range idxs {
+		off := i * lttbPointBytes
+		idxs[i] = int(binary.LittleEndian.Uint32(data[off:]))
+		if idxs[i] >= int(count) || (i > 0 && idxs[i] <= idxs[i-1]) {
+			return 0, nil, nil, ErrCorrupt
+		}
+		vals[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(data[off+4:])))
+	}
+	return int(count), idxs, vals, nil
+}
+
+// Recode implements Recoder: the LTTB sweep is re-run over the already
+// kept (index, value) points, thinning them further without reconstructing
+// the raw series.
+func (l *LTTB) Recode(enc Encoded, ratio float64) (Encoded, error) {
+	if enc.Codec != l.Name() {
+		return Encoded{}, ErrCodecMismatch
+	}
+	n, idxs, vals, err := lttbParse(enc.Data)
+	if err != nil {
+		return Encoded{}, err
+	}
+	budget := int(ratio * float64(8*n))
+	k := (budget - 8) / lttbPointBytes
+	if k < 2 {
+		return Encoded{}, ErrRatioInfeasible
+	}
+	if k >= len(idxs) {
+		return enc, nil
+	}
+	sub := lttbSelect(vals, k)
+	out := putUvarint(nil, uint64(n))
+	out = putUvarint(out, uint64(len(sub)))
+	var tmp [lttbPointBytes]byte
+	for _, si := range sub {
+		binary.LittleEndian.PutUint32(tmp[0:], uint32(idxs[si]))
+		binary.LittleEndian.PutUint32(tmp[4:], math.Float32bits(float32(vals[si])))
+		out = append(out, tmp[:]...)
+	}
+	return Encoded{Codec: l.Name(), Data: out, N: n}, nil
+}

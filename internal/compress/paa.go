@@ -1,0 +1,175 @@
+package compress
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// PAA implements Piecewise Aggregate Approximation (Keogh et al. 2001;
+// Yi & Faloutsos 2000): the series is segmented into fixed windows and each
+// window is replaced by its mean. Window size controls the ratio. PAA is
+// the paper's strongest candidate for Sum/Avg aggregation accuracy (Fig 8)
+// because it preserves window means exactly.
+//
+// Layout: uvarint n | uvarint window | means as float64.
+type PAA struct{}
+
+// NewPAA returns the PAA codec.
+func NewPAA() *PAA { return &PAA{} }
+
+// Name implements Codec.
+func (*PAA) Name() string { return "paa" }
+
+// Compress implements Codec: window 1 (a near-exact representation).
+func (p *PAA) Compress(values []float64) (Encoded, error) {
+	return p.CompressRatio(values, 1.0)
+}
+
+// CompressRatio implements LossyCodec.
+func (p *PAA) CompressRatio(values []float64, ratio float64) (Encoded, error) {
+	if len(values) == 0 {
+		return Encoded{}, ErrEmptyInput
+	}
+	if ratio <= 0 {
+		return Encoded{}, ErrRatioInfeasible
+	}
+	return paaEncode(values, paaWindowForRatio(len(values), ratio)), nil
+}
+
+// paaWindowForRatio derives the window size from the byte budget, keeping
+// header bytes and the ceiling division inside the budget.
+func paaWindowForRatio(n int, ratio float64) int {
+	if ratio >= 1 {
+		return 1
+	}
+	const header = 8 // two uvarints, conservatively
+	budget := int(ratio * float64(8*n))
+	maxMeans := (budget - header) / 8
+	if maxMeans < 1 {
+		maxMeans = 1
+	}
+	if maxMeans > n {
+		maxMeans = n
+	}
+	return (n + maxMeans - 1) / maxMeans
+}
+
+func paaEncode(values []float64, window int) Encoded {
+	out := putUvarint(nil, uint64(len(values)))
+	out = putUvarint(out, uint64(window))
+	for start := 0; start < len(values); start += window {
+		end := start + window
+		if end > len(values) {
+			end = len(values)
+		}
+		var sum float64
+		for _, v := range values[start:end] {
+			sum += v
+		}
+		var tmp [8]byte
+		binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(sum/float64(end-start)))
+		out = append(out, tmp[:]...)
+	}
+	return Encoded{Codec: "paa", Data: out, N: len(values)}
+}
+
+// MinRatio implements LossyCodec: one window covering the whole segment.
+func (*PAA) MinRatio(values []float64) float64 {
+	n := len(values)
+	if n == 0 {
+		return 1
+	}
+	return (4 + 8) / float64(8*n) // header + one mean
+}
+
+// Decompress implements Codec: each mean is replicated across its window.
+func (p *PAA) Decompress(enc Encoded) ([]float64, error) {
+	if enc.Codec != p.Name() {
+		return nil, ErrCodecMismatch
+	}
+	n, window, means, err := paaParse(enc.Data)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, 0, n)
+	for _, m := range means {
+		for i := 0; i < window && len(out) < n; i++ {
+			out = append(out, m)
+		}
+	}
+	if len(out) != n {
+		return nil, ErrCorrupt
+	}
+	return out, nil
+}
+
+func paaParse(data []byte) (n, window int, means []float64, err error) {
+	count, c, err := readCount(data)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	data = data[c:]
+	win, c := binary.Uvarint(data)
+	if c <= 0 || win == 0 {
+		return 0, 0, nil, ErrCorrupt
+	}
+	data = data[c:]
+	if len(data)%8 != 0 {
+		return 0, 0, nil, ErrCorrupt
+	}
+	means = make([]float64, len(data)/8)
+	for i := range means {
+		means[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[8*i:]))
+	}
+	expect := (int(count) + int(win) - 1) / int(win)
+	if len(means) != expect {
+		return 0, 0, nil, ErrCorrupt
+	}
+	return int(count), int(win), means, nil
+}
+
+// Recode implements Recoder: adjacent windows are merged by weighted mean,
+// widening the window without reconstructing the raw series ("apply PAA
+// compression to data already compressed with PAA", paper §IV-E).
+func (p *PAA) Recode(enc Encoded, ratio float64) (Encoded, error) {
+	if enc.Codec != p.Name() {
+		return Encoded{}, ErrCodecMismatch
+	}
+	n, window, means, err := paaParse(enc.Data)
+	if err != nil {
+		return Encoded{}, err
+	}
+	targetWindow := paaWindowForRatio(n, ratio)
+	if targetWindow <= window {
+		return enc, nil
+	}
+	// Merge m old windows per new window; the merged window size is a
+	// multiple of the old one so the weighted mean is exact.
+	m := (targetWindow + window - 1) / window
+	newWindow := m * window
+	out := putUvarint(nil, uint64(n))
+	out = putUvarint(out, uint64(newWindow))
+	for start := 0; start < len(means); start += m {
+		end := start + m
+		if end > len(means) {
+			end = len(means)
+		}
+		var sum, weight float64
+		for j := start; j < end; j++ {
+			// Every old window holds `window` points except possibly the
+			// final one.
+			w := float64(window)
+			if j == len(means)-1 {
+				if rem := n % window; rem != 0 {
+					w = float64(rem)
+				}
+			}
+			sum += means[j] * w
+			weight += w
+		}
+		var tmp [8]byte
+		binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(sum/weight))
+		out = append(out, tmp[:]...)
+	}
+	return Encoded{Codec: p.Name(), Data: out, N: n}, nil
+}

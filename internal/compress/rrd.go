@@ -1,0 +1,152 @@
+package compress
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// RRDSample simulates RRDTool's storage-bounding logic (paper §III-A):
+// rather than deleting old data outright when the quota is reached, one
+// value is sampled from each fixed window and replicated across the window
+// on read. It is the fallback of last resort when every other lossy codec
+// has hit its floor (paper Fig 12, the late ingestion phase).
+//
+// Sampling is deterministic: a seeded xorshift generator keyed by the
+// codec seed and the window index, so compressing the same segment twice
+// yields identical output.
+//
+// Layout: uvarint n | uvarint window | samples as float64.
+type RRDSample struct{ seed uint64 }
+
+// NewRRDSample returns the sampling codec with the given seed.
+func NewRRDSample(seed uint64) *RRDSample {
+	if seed == 0 {
+		seed = 1
+	}
+	return &RRDSample{seed: seed}
+}
+
+// Name implements Codec.
+func (*RRDSample) Name() string { return "rrdsample" }
+
+// Compress implements Codec at ratio 1.
+func (r *RRDSample) Compress(values []float64) (Encoded, error) {
+	return r.CompressRatio(values, 1.0)
+}
+
+// CompressRatio implements LossyCodec.
+func (r *RRDSample) CompressRatio(values []float64, ratio float64) (Encoded, error) {
+	if len(values) == 0 {
+		return Encoded{}, ErrEmptyInput
+	}
+	if ratio <= 0 {
+		return Encoded{}, ErrRatioInfeasible
+	}
+	window := paaWindowForRatio(len(values), ratio)
+	out := putUvarint(nil, uint64(len(values)))
+	out = putUvarint(out, uint64(window))
+	state := r.seed
+	for start := 0; start < len(values); start += window {
+		end := start + window
+		if end > len(values) {
+			end = len(values)
+		}
+		state = xorshift(state + uint64(start))
+		pick := start + int(state%uint64(end-start))
+		out = appendF64(out, values[pick])
+	}
+	return Encoded{Codec: r.Name(), Data: out, N: len(values)}, nil
+}
+
+func xorshift(x uint64) uint64 {
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	return x
+}
+
+// MinRatio implements LossyCodec: one sample for the whole segment.
+func (*RRDSample) MinRatio(values []float64) float64 {
+	n := len(values)
+	if n == 0 {
+		return 1
+	}
+	return (4 + 8) / float64(8*n)
+}
+
+// Decompress implements Codec: each sample is replicated across its window.
+func (r *RRDSample) Decompress(enc Encoded) ([]float64, error) {
+	if enc.Codec != r.Name() {
+		return nil, ErrCodecMismatch
+	}
+	data := enc.Data
+	count, c := binary.Uvarint(data)
+	if c <= 0 {
+		return nil, ErrCorrupt
+	}
+	data = data[c:]
+	window, c := binary.Uvarint(data)
+	if c <= 0 || window == 0 {
+		return nil, ErrCorrupt
+	}
+	data = data[c:]
+	if len(data)%8 != 0 {
+		return nil, ErrCorrupt
+	}
+	samples := make([]float64, len(data)/8)
+	for i := range samples {
+		samples[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[8*i:]))
+	}
+	expect := (int(count) + int(window) - 1) / int(window)
+	if len(samples) != expect {
+		return nil, ErrCorrupt
+	}
+	out := make([]float64, 0, count)
+	for _, s := range samples {
+		for i := 0; i < int(window) && len(out) < int(count); i++ {
+			out = append(out, s)
+		}
+	}
+	return out, nil
+}
+
+// Recode implements Recoder: samples among the retained samples, widening
+// the effective window without touching raw data.
+func (r *RRDSample) Recode(enc Encoded, ratio float64) (Encoded, error) {
+	if enc.Codec != r.Name() {
+		return Encoded{}, ErrCodecMismatch
+	}
+	data := enc.Data
+	count, c := binary.Uvarint(data)
+	if c <= 0 {
+		return Encoded{}, ErrCorrupt
+	}
+	data = data[c:]
+	window, c := binary.Uvarint(data)
+	if c <= 0 || window == 0 {
+		return Encoded{}, ErrCorrupt
+	}
+	data = data[c:]
+	samples := make([]float64, len(data)/8)
+	for i := range samples {
+		samples[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[8*i:]))
+	}
+	targetWindow := paaWindowForRatio(enc.N, ratio)
+	if targetWindow <= int(window) {
+		return enc, nil
+	}
+	m := (targetWindow + int(window) - 1) / int(window)
+	newWindow := m * int(window)
+	out := putUvarint(nil, count)
+	out = putUvarint(out, uint64(newWindow))
+	state := r.seed ^ 0x9e3779b97f4a7c15
+	for start := 0; start < len(samples); start += m {
+		end := start + m
+		if end > len(samples) {
+			end = len(samples)
+		}
+		state = xorshift(state + uint64(start))
+		out = appendF64(out, samples[start+int(state%uint64(end-start))])
+	}
+	return Encoded{Codec: r.Name(), Data: out, N: enc.N}, nil
+}

@@ -1,0 +1,208 @@
+package compress
+
+import (
+	"encoding/binary"
+	"math"
+)
+
+// Summary implements the core of SummaryStore's space reclamation
+// (Agrawal & Vulimiri, SOSP 2017; cited in paper §II): data is replaced by
+// per-window aggregate summaries (min, max, sum) at a chosen compression
+// ratio. Point reconstruction replicates the window mean, but the three
+// headline aggregates remain *exact* with respect to the original data —
+// which is why the codec implements the direct-aggregation interfaces.
+// Recoding merges adjacent windows exactly (min of mins, max of maxes,
+// sum of sums): the cheapest virtual decompression in the candidate set.
+//
+// Layout: uvarint n | uvarint window | windows ×(min f64, max f64, sum f64).
+type Summary struct{}
+
+// NewSummary returns the aggregate-summary codec.
+func NewSummary() *Summary { return &Summary{} }
+
+// Name implements Codec.
+func (*Summary) Name() string { return "summary" }
+
+const summaryWindowBytes = 24
+
+// Compress implements Codec at ratio 1.
+func (s *Summary) Compress(values []float64) (Encoded, error) {
+	return s.CompressRatio(values, 1.0)
+}
+
+// summaryWindowForRatio sizes windows from the byte budget.
+func summaryWindowForRatio(n int, ratio float64) int {
+	const header = 8
+	budget := int(ratio * float64(8*n))
+	maxWindows := (budget - header) / summaryWindowBytes
+	if maxWindows < 1 {
+		maxWindows = 1
+	}
+	if maxWindows > n {
+		maxWindows = n
+	}
+	return (n + maxWindows - 1) / maxWindows
+}
+
+// CompressRatio implements LossyCodec.
+func (s *Summary) CompressRatio(values []float64, ratio float64) (Encoded, error) {
+	if len(values) == 0 {
+		return Encoded{}, ErrEmptyInput
+	}
+	if ratio <= 0 {
+		return Encoded{}, ErrRatioInfeasible
+	}
+	window := summaryWindowForRatio(len(values), ratio)
+	out := putUvarint(nil, uint64(len(values)))
+	out = putUvarint(out, uint64(window))
+	for start := 0; start < len(values); start += window {
+		end := start + window
+		if end > len(values) {
+			end = len(values)
+		}
+		lo, hi, sum := math.Inf(1), math.Inf(-1), 0.0
+		for _, v := range values[start:end] {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+			sum += v
+		}
+		out = appendF64(out, lo)
+		out = appendF64(out, hi)
+		out = appendF64(out, sum)
+	}
+	return Encoded{Codec: s.Name(), Data: out, N: len(values)}, nil
+}
+
+// MinRatio implements LossyCodec: a single summary window.
+func (*Summary) MinRatio(values []float64) float64 {
+	n := len(values)
+	if n == 0 {
+		return 1
+	}
+	return (8 + summaryWindowBytes) / float64(8*n)
+}
+
+type summaryWindow struct{ lo, hi, sum float64 }
+
+func summaryParse(data []byte) (n, window int, wins []summaryWindow, err error) {
+	count, c, err := readCount(data)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	data = data[c:]
+	win, c := binary.Uvarint(data)
+	if c <= 0 || win == 0 {
+		return 0, 0, nil, ErrCorrupt
+	}
+	data = data[c:]
+	if len(data)%summaryWindowBytes != 0 {
+		return 0, 0, nil, ErrCorrupt
+	}
+	wins = make([]summaryWindow, len(data)/summaryWindowBytes)
+	for i := range wins {
+		off := i * summaryWindowBytes
+		wins[i].lo = math.Float64frombits(binary.LittleEndian.Uint64(data[off:]))
+		wins[i].hi = math.Float64frombits(binary.LittleEndian.Uint64(data[off+8:]))
+		wins[i].sum = math.Float64frombits(binary.LittleEndian.Uint64(data[off+16:]))
+	}
+	expect := (int(count) + int(win) - 1) / int(win)
+	if len(wins) != expect {
+		return 0, 0, nil, ErrCorrupt
+	}
+	return int(count), int(win), wins, nil
+}
+
+// Decompress implements Codec: each window replays its mean.
+func (s *Summary) Decompress(enc Encoded) ([]float64, error) {
+	if enc.Codec != s.Name() {
+		return nil, ErrCodecMismatch
+	}
+	n, window, wins, err := summaryParse(enc.Data)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, 0, n)
+	remaining := n
+	for _, w := range wins {
+		l := window
+		if remaining < l {
+			l = remaining
+		}
+		mean := w.sum / float64(l)
+		for i := 0; i < l; i++ {
+			out = append(out, mean)
+		}
+		remaining -= l
+	}
+	return out, nil
+}
+
+// Recode implements Recoder: adjacent summaries merge exactly.
+func (s *Summary) Recode(enc Encoded, ratio float64) (Encoded, error) {
+	if enc.Codec != s.Name() {
+		return Encoded{}, ErrCodecMismatch
+	}
+	n, window, wins, err := summaryParse(enc.Data)
+	if err != nil {
+		return Encoded{}, err
+	}
+	targetWindow := summaryWindowForRatio(n, ratio)
+	if targetWindow <= window {
+		return enc, nil
+	}
+	m := (targetWindow + window - 1) / window
+	newWindow := m * window
+	out := putUvarint(nil, uint64(n))
+	out = putUvarint(out, uint64(newWindow))
+	for start := 0; start < len(wins); start += m {
+		end := start + m
+		if end > len(wins) {
+			end = len(wins)
+		}
+		merged := summaryWindow{lo: math.Inf(1), hi: math.Inf(-1)}
+		for _, w := range wins[start:end] {
+			merged.lo = math.Min(merged.lo, w.lo)
+			merged.hi = math.Max(merged.hi, w.hi)
+			merged.sum += w.sum
+		}
+		out = appendF64(out, merged.lo)
+		out = appendF64(out, merged.hi)
+		out = appendF64(out, merged.sum)
+	}
+	return Encoded{Codec: s.Name(), Data: out, N: n}, nil
+}
+
+// SumEncoded implements DirectSummer — exact with respect to the ORIGINAL
+// data, not merely the reconstruction, because window sums are stored.
+func (s *Summary) SumEncoded(enc Encoded) (float64, error) {
+	if enc.Codec != s.Name() {
+		return 0, ErrCodecMismatch
+	}
+	_, _, wins, err := summaryParse(enc.Data)
+	if err != nil {
+		return 0, err
+	}
+	var sum float64
+	for _, w := range wins {
+		sum += w.sum
+	}
+	return sum, nil
+}
+
+// MinMaxEncoded implements DirectMinMaxer — exact with respect to the
+// original data.
+func (s *Summary) MinMaxEncoded(enc Encoded) (float64, float64, error) {
+	if enc.Codec != s.Name() {
+		return 0, 0, ErrCodecMismatch
+	}
+	_, _, wins, err := summaryParse(enc.Data)
+	if err != nil {
+		return 0, 0, err
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, w := range wins {
+		lo = math.Min(lo, w.lo)
+		hi = math.Max(hi, w.hi)
+	}
+	return lo, hi, nil
+}

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/store"
+)
+
+// Checkpoint/restore: an offline edge node must survive restarts without
+// losing its accumulated (and already heavily recoded) data. SaveTo
+// persists the compressed pool with all segment metadata using the
+// store persistence format; ResumeOfflineEngine rebuilds an engine around
+// the restored pool, replaying storage accounting and re-registering every
+// segment with the recoding policy in id (= age) order.
+//
+// Bandit state deliberately restarts cold: value estimates are cheap to
+// re-learn and stale estimates across a restart boundary (device moved,
+// workload changed) are worse than none.
+
+// SaveTo writes the engine's pool to w and returns the byte count.
+func (e *OfflineEngine) SaveTo(w io.Writer) (int64, error) {
+	return e.pool.WriteTo(w)
+}
+
+// ResumeOfflineEngine builds an engine from cfg and a pool dump produced
+// by SaveTo. The restored segments count against the configured storage
+// budget immediately; if they exceed it (e.g. the budget was lowered),
+// an error is returned rather than silently over-committing.
+func ResumeOfflineEngine(cfg Config, r io.Reader) (*OfflineEngine, error) {
+	e, err := NewOfflineEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	pool, err := store.ReadPool(r, e.cfg.Policy)
+	if err != nil {
+		return nil, err
+	}
+	var total int64
+	var maxID uint64
+	pool.Each(func(en *store.Entry) {
+		total += int64(en.Enc.Size())
+		if en.ID >= maxID {
+			maxID = en.ID + 1
+		}
+	})
+	if total > e.storage.Capacity() {
+		return nil, fmt.Errorf("core: restored pool needs %d bytes, budget is %d: %w",
+			total, e.storage.Capacity(), errRestoreOverBudget)
+	}
+	if err := e.storage.Alloc(total); err != nil {
+		return nil, err
+	}
+	e.pool = pool
+	e.nextID = maxID
+	return e, nil
+}
+
+var errRestoreOverBudget = fmt.Errorf("core: restored data exceeds the storage budget")

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Device composes the whole AdaEdge framework of the paper's Fig 1: one
+// edge node that operates in online mode while its link is up (compressing
+// to the bandwidth-derived target ratio and transmitting), switches to
+// offline mode across disconnections (storing under the budget with
+// cascade recoding), and drains the backlog when the link returns.
+//
+// The link schedule is virtual-time driven: the device tracks elapsed
+// signal time from the ingestion rate, so a whole day of connectivity
+// gaps replays in milliseconds.
+type Device struct {
+	cfg     Config
+	link    *sim.Link
+	online  *OnlineEngine
+	offline *OfflineEngine
+	clock   *sim.Clock
+
+	stats DeviceStats
+}
+
+// DeviceStats aggregates the device lifecycle.
+type DeviceStats struct {
+	// OnlineSegments were compressed and transmitted live.
+	OnlineSegments int
+	// OfflineSegments were stored during disconnections.
+	OfflineSegments int
+	// DrainedSegments and DrainedBytes left during reconnection windows.
+	DrainedSegments int
+	DrainedBytes    int64
+	// Transitions counts link up/down switches observed.
+	Transitions int
+	// TransmittedBytes counts live egress.
+	TransmittedBytes int64
+}
+
+// NewDevice builds a device. cfg must carry StorageBytes (for the offline
+// phases); the online target ratio is re-derived from the link capacity at
+// every transition.
+func NewDevice(cfg Config, link *sim.Link) (*Device, error) {
+	if link == nil {
+		return nil, fmt.Errorf("core: device requires a link schedule")
+	}
+	cfg = cfg.withDefaults(true)
+	// Both engines share the registry and objective; they learn
+	// independently (their reward landscapes differ).
+	onCfg := cfg
+	onCfg.TargetRatioOverride = 1 // retargeted per phase below
+	online, err := NewOnlineEngine(onCfg)
+	if err != nil {
+		return nil, err
+	}
+	offline, err := NewOfflineEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	d := &Device{
+		cfg:     cfg,
+		link:    link,
+		online:  online,
+		offline: offline,
+		clock:   sim.NewClock(cfg.IngestRate),
+	}
+	d.syncTarget(link.At(0))
+	return d, nil
+}
+
+// syncTarget retargets the online engine for the current capacity.
+func (d *Device) syncTarget(bw sim.Bandwidth) {
+	if bw > 0 {
+		d.online.Retarget(bw)
+	}
+}
+
+// Ingest processes one segment according to the link state at the current
+// virtual time. It returns the per-segment outcome; transmitted segments
+// carry the codec/ratio of the live path, stored segments report
+// Codec == "stored".
+func (d *Device) Ingest(values []float64, label int) (Result, error) {
+	if len(values) == 0 {
+		return Result{}, fmt.Errorf("core: empty segment")
+	}
+	prevUp := d.link.Connected(d.clock.Seconds())
+	d.clock.Advance(len(values))
+	now := d.clock.Seconds()
+	up := d.link.Connected(now)
+	if up != prevUp {
+		d.stats.Transitions++
+		if up {
+			// Reconnection: drain the offline backlog through the link
+			// before live traffic resumes. The drain window is the
+			// segment duration — the paper leaves smarter planning as
+			// future work.
+			bw := d.link.At(now)
+			d.syncTarget(bw)
+			rep := d.offline.Drain(bw, float64(len(values))/d.cfg.IngestRate)
+			d.stats.DrainedSegments += rep.SegmentsSent
+			d.stats.DrainedBytes += rep.BytesSent
+		}
+	}
+	if up {
+		// Continue draining any backlog opportunistically alongside live
+		// traffic.
+		if d.offline.Segments() > 0 {
+			rep := d.offline.Drain(d.link.At(now), float64(len(values))/(2*d.cfg.IngestRate))
+			d.stats.DrainedSegments += rep.SegmentsSent
+			d.stats.DrainedBytes += rep.BytesSent
+		}
+		res, enc, err := d.online.Process(values, label)
+		if err != nil {
+			return Result{}, err
+		}
+		d.stats.OnlineSegments++
+		d.stats.TransmittedBytes += int64(enc.Size())
+		return res, nil
+	}
+	if err := d.offline.Ingest(values, label); err != nil {
+		return Result{}, err
+	}
+	d.stats.OfflineSegments++
+	return Result{Codec: "stored"}, nil
+}
+
+// Stats returns lifecycle statistics.
+func (d *Device) Stats() DeviceStats { return d.stats }
+
+// Online exposes the online engine (diagnostics).
+func (d *Device) Online() *OnlineEngine { return d.online }
+
+// Offline exposes the offline engine (diagnostics, queries over backlog).
+func (d *Device) Offline() *OfflineEngine { return d.offline }
+
+// Clock exposes the device's virtual clock.
+func (d *Device) Clock() *sim.Clock { return d.clock }
+
+// Backlog returns the number of segments still stored locally.
+func (d *Device) Backlog() int { return d.offline.Segments() }

@@ -1,0 +1,114 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/datasets"
+	"repro/internal/query"
+	"repro/internal/sim"
+)
+
+// deviceLink: 0.05 s up at 4G, 0.05 s down, repeating. At 128 k pts/s and
+// 128-pt segments, each segment is 1 ms: 50 segments per phase.
+func deviceLink() *sim.Link {
+	return sim.NewLink(
+		sim.LinkPhase{Seconds: 0.05, Bandwidth: sim.Net4G},
+		sim.LinkPhase{Seconds: 0.05, Bandwidth: 0},
+	)
+}
+
+func newDevice(t *testing.T) *Device {
+	t.Helper()
+	d, err := NewDevice(Config{
+		IngestRate:   128_000,
+		StorageBytes: 1 << 20,
+		Objective:    AggTarget(query.Sum),
+		Seed:         1,
+	}, deviceLink())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestDeviceRequiresLink(t *testing.T) {
+	if _, err := NewDevice(Config{StorageBytes: 1 << 20, Objective: SingleTarget(TargetRatio)}, nil); err == nil {
+		t.Fatal("expected error without a link")
+	}
+}
+
+func TestDeviceSwitchesModesWithLink(t *testing.T) {
+	d := newDevice(t)
+	stream := datasets.NewCBFStream(datasets.CBFConfig{Seed: 80})
+	for i := 0; i < 200; i++ { // two full link cycles
+		series, label := stream.Next()
+		if _, err := d.Ingest(series, label); err != nil {
+			t.Fatalf("segment %d: %v", i, err)
+		}
+	}
+	st := d.Stats()
+	if st.OnlineSegments == 0 || st.OfflineSegments == 0 {
+		t.Fatalf("expected both modes used: online=%d offline=%d", st.OnlineSegments, st.OfflineSegments)
+	}
+	if st.Transitions < 3 {
+		t.Fatalf("transitions = %d, want >= 3 over two cycles", st.Transitions)
+	}
+	if st.OnlineSegments+st.OfflineSegments != 200 {
+		t.Fatalf("segments unaccounted: %d + %d != 200", st.OnlineSegments, st.OfflineSegments)
+	}
+}
+
+func TestDeviceDrainsBacklogOnReconnect(t *testing.T) {
+	d := newDevice(t)
+	stream := datasets.NewCBFStream(datasets.CBFConfig{Seed: 81})
+	for i := 0; i < 400; i++ { // four link cycles
+		series, label := stream.Next()
+		if _, err := d.Ingest(series, label); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := d.Stats()
+	if st.DrainedSegments == 0 {
+		t.Fatal("no backlog drained on reconnection")
+	}
+	// 4G carries 12.5 MB/s; the whole offline backlog (≈50 KB per down
+	// phase) drains within the up phases, so the residual backlog must be
+	// far below what was stored.
+	if d.Backlog() > st.OfflineSegments/2 {
+		t.Fatalf("backlog %d of %d stored segments never drained", d.Backlog(), st.OfflineSegments)
+	}
+	if st.TransmittedBytes == 0 || st.DrainedBytes == 0 {
+		t.Fatal("byte accounting missing")
+	}
+}
+
+func TestDeviceBacklogQueryableWhileOffline(t *testing.T) {
+	// A link that starts down: everything lands in the offline engine and
+	// is queryable there.
+	d, err := NewDevice(Config{
+		IngestRate:   128_000,
+		StorageBytes: 1 << 20,
+		Objective:    SingleTarget(TargetRatio),
+		Seed:         2,
+	}, sim.NewLink(sim.LinkPhase{Seconds: 1e9, Bandwidth: 0}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := datasets.NewCBFStream(datasets.CBFConfig{Seed: 82})
+	for i := 0; i < 30; i++ {
+		series, label := stream.Next()
+		res, err := d.Ingest(series, label)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Codec != "stored" {
+			t.Fatalf("offline segment reported codec %q", res.Codec)
+		}
+	}
+	if d.Backlog() != 30 {
+		t.Fatalf("backlog = %d", d.Backlog())
+	}
+	if _, err := d.Offline().Query(query.Avg); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/compress"
+	"repro/internal/query"
+	"repro/internal/store"
+)
+
+// QueryDirect answers an aggregation using in-situ operators on the
+// encoded segments wherever the codec supports them (paper §II's
+// "specialized operators operating on encoded columns directly"), falling
+// back to decompression otherwise. Results equal Query()'s for Sum/Min/
+// Max/Avg because the direct operators are exact with respect to the
+// decompressed representation. Accesses are recorded like any query.
+func (e *OfflineEngine) QueryDirect(agg query.Agg) (float64, error) {
+	var ids []uint64
+	e.pool.Each(func(entry *store.Entry) { ids = append(ids, entry.ID) })
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	if len(ids) == 0 {
+		return 0, query.ErrEmpty
+	}
+
+	var sum float64
+	var count int
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, id := range ids {
+		entry, ok := e.pool.Get(id) // records the access
+		if !ok {
+			continue
+		}
+		codec, _ := e.reg.Lookup(entry.Enc.Codec)
+		count += entry.Enc.N
+		switch agg {
+		case query.Sum, query.Avg:
+			if ds, ok := codec.(compress.DirectSummer); ok {
+				s, err := ds.SumEncoded(entry.Enc)
+				if err != nil {
+					return 0, err
+				}
+				sum += s
+				continue
+			}
+		case query.Min, query.Max:
+			if mm, ok := codec.(compress.DirectMinMaxer); ok {
+				l, h, err := mm.MinMaxEncoded(entry.Enc)
+				if err != nil {
+					return 0, err
+				}
+				lo = math.Min(lo, l)
+				hi = math.Max(hi, h)
+				continue
+			}
+		}
+		// Fallback: decompress this segment.
+		values, err := e.reg.Decompress(entry.Enc)
+		if err != nil {
+			return 0, err
+		}
+		for _, v := range values {
+			sum += v
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	switch agg {
+	case query.Sum:
+		return sum, nil
+	case query.Avg:
+		return sum / float64(count), nil
+	case query.Min:
+		return lo, nil
+	case query.Max:
+		return hi, nil
+	default:
+		return 0, query.ErrEmpty
+	}
+}

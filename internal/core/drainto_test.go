@@ -1,0 +1,75 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/store"
+	"repro/internal/transport"
+)
+
+type captureSender struct {
+	frames  []transport.Frame
+	failAt  int // fail when len(frames) reaches failAt (-1 = never)
+	failErr error
+}
+
+func (c *captureSender) Send(f transport.Frame) error {
+	if c.failAt >= 0 && len(c.frames) >= c.failAt {
+		return c.failErr
+	}
+	c.frames = append(c.frames, f)
+	return nil
+}
+
+func TestDrainToShipsFrames(t *testing.T) {
+	e := drainEngine(t, 20)
+	sender := &captureSender{failAt: -1}
+	rep, err := e.DrainTo(sender, sim.Net5G, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SegmentsSent != 20 || len(sender.frames) != 20 {
+		t.Fatalf("sent %d, captured %d", rep.SegmentsSent, len(sender.frames))
+	}
+	for i, f := range sender.frames {
+		if f.ID != uint64(i) {
+			t.Fatalf("frame %d has id %d", i, f.ID)
+		}
+		if f.Enc.Codec == "" || f.Enc.N == 0 {
+			t.Fatalf("frame %d missing metadata", i)
+		}
+	}
+	if e.Segments() != 0 {
+		t.Fatalf("backlog = %d after full drain", e.Segments())
+	}
+}
+
+func TestDrainToRestoresOnSendFailure(t *testing.T) {
+	e := drainEngine(t, 20)
+	before := e.Segments()
+	wantErr := errors.New("link dropped")
+	sender := &captureSender{failAt: 5, failErr: wantErr}
+	rep, err := e.DrainTo(sender, sim.Net5G, 10)
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v", err)
+	}
+	if rep.SegmentsSent != 5 {
+		t.Fatalf("sent = %d, want 5", rep.SegmentsSent)
+	}
+	// Nothing lost: shipped + restored == original.
+	if rep.SegmentsSent+e.Segments() != before {
+		t.Fatalf("segments lost: sent %d + stored %d != %d", rep.SegmentsSent, e.Segments(), before)
+	}
+	// Storage accounting matches the pool.
+	if e.Storage().Used() != e.pool.TotalBytes() {
+		t.Fatalf("storage %d != pool bytes %d", e.Storage().Used(), e.pool.TotalBytes())
+	}
+	// The restored segments remain decodable.
+	e.EachEntry(func(en *store.Entry) {
+		if _, err := e.reg.Decompress(en.Enc); err != nil {
+			t.Fatalf("restored segment %d broken: %v", en.ID, err)
+		}
+	})
+}

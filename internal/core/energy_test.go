@@ -1,0 +1,184 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/datasets"
+)
+
+func TestEnergyMeterBasics(t *testing.T) {
+	m := NewEnergyMeter(2, 10) // 2 W, 10 J budget
+	if !m.Charge(1) {          // 2 J
+		t.Fatal("within budget")
+	}
+	if got := m.UsedJoules(); got != 2 {
+		t.Fatalf("used = %v", got)
+	}
+	if got := m.Remaining(); got != 8 {
+		t.Fatalf("remaining = %v", got)
+	}
+	if m.Charge(5) { // +10 J = 12 J > 10
+		t.Fatal("budget should be blown")
+	}
+	if !m.Exhausted() {
+		t.Fatal("should be exhausted")
+	}
+	if m.Remaining() != 0 {
+		t.Fatalf("remaining = %v", m.Remaining())
+	}
+}
+
+func TestEnergyMeterUnlimited(t *testing.T) {
+	m := NewEnergyMeter(3, 0)
+	for i := 0; i < 100; i++ {
+		if !m.Charge(10) {
+			t.Fatal("unlimited budget rejected a charge")
+		}
+	}
+	if m.Exhausted() {
+		t.Fatal("unlimited meter exhausted")
+	}
+	if m.Remaining() != -1 {
+		t.Fatalf("remaining = %v", m.Remaining())
+	}
+}
+
+func TestNilEnergyMeterIsNoop(t *testing.T) {
+	var m *EnergyMeter
+	if !m.Charge(1) || m.Exhausted() || m.UsedJoules() != 0 || m.Remaining() != -1 {
+		t.Fatal("nil meter must be a no-op")
+	}
+}
+
+func TestOfflineEngineEnergyAccounting(t *testing.T) {
+	e, err := NewOfflineEngine(Config{
+		StorageBytes: 30 << 10,
+		Objective:    SingleTarget(TargetRatio),
+		DeviceWatts:  5,
+		Seed:         1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Energy() == nil {
+		t.Fatal("meter missing")
+	}
+	ingestCBF(t, e, 100, 130)
+	used := e.Energy().UsedJoules()
+	if used <= 0 {
+		t.Fatal("no energy accounted")
+	}
+	// Deterministic: a second identical run charges the same joules.
+	e2, err := NewOfflineEngine(Config{
+		StorageBytes: 30 << 10,
+		Objective:    SingleTarget(TargetRatio),
+		DeviceWatts:  5,
+		Seed:         1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestCBF(t, e2, 100, 130)
+	if got := e2.Energy().UsedJoules(); got != used {
+		t.Fatalf("energy not reproducible: %v vs %v", got, used)
+	}
+	// Recoding costs energy: a looser budget (fewer recodes) must use less.
+	e3, err := NewOfflineEngine(Config{
+		StorageBytes: 8 << 20,
+		Objective:    SingleTarget(TargetRatio),
+		DeviceWatts:  5,
+		Seed:         1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestCBF(t, e3, 100, 130)
+	if e3.Energy().UsedJoules() >= used {
+		t.Fatalf("loose budget (%v J) should cost less than tight (%v J)",
+			e3.Energy().UsedJoules(), used)
+	}
+}
+
+func TestOfflineEngineEnergyBudgetEnforced(t *testing.T) {
+	e, err := NewOfflineEngine(Config{
+		StorageBytes:       1 << 20,
+		Objective:          SingleTarget(TargetRatio),
+		DeviceWatts:        1000,
+		EnergyBudgetJoules: 1e-3, // a few segments' worth
+		Seed:               2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := datasets.NewCBFStream(datasets.CBFConfig{Seed: 131})
+	var lastErr error
+	seen := 0
+	for i := 0; i < 500 && lastErr == nil; i++ {
+		sig, label := stream.Next()
+		lastErr = e.Ingest(sig, label)
+		if lastErr == nil {
+			seen++
+		}
+	}
+	if !errors.Is(lastErr, ErrEnergyExhausted) {
+		t.Fatalf("want ErrEnergyExhausted, got %v (after %d segments)", lastErr, seen)
+	}
+	if seen == 0 {
+		t.Fatal("budget tripped before any work")
+	}
+}
+
+func TestOnlineEngineEnergyBudget(t *testing.T) {
+	e, err := NewOnlineEngine(Config{
+		TargetRatioOverride: 0.5,
+		Objective:           SingleTarget(TargetRatio),
+		DeviceWatts:         1000,
+		EnergyBudgetJoules:  1e-3,
+		Seed:                3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Energy() == nil {
+		t.Fatal("meter missing")
+	}
+	stream := datasets.NewCBFStream(datasets.CBFConfig{Seed: 132})
+	var lastErr error
+	seen := 0
+	for i := 0; i < 500 && lastErr == nil; i++ {
+		series, label := stream.Next()
+		_, _, lastErr = e.Process(series, label)
+		if lastErr == nil {
+			seen++
+		}
+	}
+	if !errors.Is(lastErr, ErrEnergyExhausted) {
+		t.Fatalf("want ErrEnergyExhausted, got %v after %d", lastErr, seen)
+	}
+	if seen == 0 {
+		t.Fatal("tripped before any work")
+	}
+}
+
+func TestOnlineEnergyMeteringOnlyIsNonFatal(t *testing.T) {
+	e, err := NewOnlineEngine(Config{
+		TargetRatioOverride: 0.5,
+		Objective:           SingleTarget(TargetRatio),
+		DeviceWatts:         5, // metering, no budget
+		Seed:                4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := datasets.NewCBFStream(datasets.CBFConfig{Seed: 133})
+	for i := 0; i < 50; i++ {
+		series, label := stream.Next()
+		if _, _, err := e.Process(series, label); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e.Energy().UsedJoules() <= 0 {
+		t.Fatal("nothing metered")
+	}
+}

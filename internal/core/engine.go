@@ -1,0 +1,185 @@
+package core
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/bandit"
+	"repro/internal/compress"
+	"repro/internal/sim"
+	"repro/internal/store"
+)
+
+// Config parameterizes both engines. Zero values select the paper's
+// defaults.
+type Config struct {
+	// SegmentLength is the fixed number of points per segment (default
+	// 128, the CBF series length).
+	SegmentLength int
+	// Precision is the dataset decimal precision (default 4, CBF).
+	Precision int
+	// IngestRate is the signal generation rate in points/second (default
+	// 200 000, the paper's streaming default, §V-B).
+	IngestRate float64
+	// Bandwidth is the egress link capacity (online mode).
+	Bandwidth sim.Bandwidth
+	// TargetRatioOverride, when positive, fixes the online target ratio
+	// directly instead of deriving it from IngestRate and Bandwidth; the
+	// paper's online sweeps are parameterized this way.
+	TargetRatioOverride float64
+	// StorageBytes is the local storage budget (offline mode).
+	StorageBytes int64
+	// StorageThreshold is the recoding threshold θ (default 0.8).
+	StorageThreshold float64
+	// Objective is the optimization target.
+	Objective Objective
+	// Bandit configures the selection policies. The paper uses optimistic
+	// ε-greedy with ε = 0.01 online and 0.1 offline; zero Epsilon selects
+	// those defaults per mode.
+	Bandit bandit.Config
+	// UseUCB selects UCB1 instead of ε-greedy.
+	UseUCB bool
+	// SingleLossyMAB collapses the offline per-ratio-range bandit pool
+	// into one instance. The paper argues (§IV-C2) that rewards differ
+	// too much across ratio ranges for a single instance; this switch
+	// exists for the ablation that verifies it.
+	SingleLossyMAB bool
+	// Registry is the codec candidate set (nil selects the default 16).
+	Registry *compress.Registry
+	// LossyArms optionally restricts the lossy bandit's arms to the named
+	// codecs (they must exist in the Registry). Used by fixed-pair
+	// baselines; nil selects every lossy codec in the Registry.
+	LossyArms []string
+	// LosslessArms optionally restricts the lossless bandit's arms.
+	LosslessArms []string
+	// Policy orders offline recoding (nil selects LRU).
+	Policy store.Policy
+	// KeepEvalRaw retains raw segment copies for measurement-grade
+	// accuracy evaluation (see store.Entry.EvalRaw). Enabled
+	// automatically when the objective has accuracy terms.
+	KeepEvalRaw bool
+	// RecodeBudget enables the CPU-time budget model for the offline
+	// recoder: recoding only proceeds as fast as the simulated CPU
+	// allows, so expensive decode paths can fall behind ingestion and
+	// blow the storage budget (paper Fig 14).
+	RecodeBudget bool
+	// CPUScale multiplies codec costs under RecodeBudget (default 1;
+	// larger = slower simulated device).
+	CPUScale float64
+	// CodecCost returns the virtual CPU seconds one operation ("decode"
+	// or "encode") takes on a segment of n points under the RecodeBudget
+	// model. Nil selects wall-clock measurement, which is realistic but
+	// noisy; DefaultCodecCost gives a deterministic model calibrated to
+	// the paper's relative codec costs (Gorilla's bit-serial decode is
+	// the slow outlier, §V-B2).
+	CodecCost func(op, codec string, points int) float64
+	// LosslessProbeInterval is how often (in segments) the online engine
+	// re-probes lossless viability after it has been found infeasible
+	// (default 50).
+	LosslessProbeInterval int
+	// DeviceWatts enables energy accounting (paper §IV-A4's deferred
+	// power constraint): every codec operation is charged at this power
+	// draw using the deterministic cost model. 0 disables metering.
+	DeviceWatts float64
+	// EnergyBudgetJoules turns the meter into a hard constraint; once
+	// exhausted the offline engine refuses further ingestion with
+	// ErrEnergyExhausted. 0 meters without enforcing.
+	EnergyBudgetJoules float64
+	// Seed drives all stochastic components.
+	Seed int64
+}
+
+func (c Config) withDefaults(online bool) Config {
+	if c.SegmentLength == 0 {
+		c.SegmentLength = 128
+	}
+	if c.Precision == 0 {
+		c.Precision = 4
+	}
+	if c.IngestRate == 0 {
+		c.IngestRate = 200_000
+	}
+	if c.StorageThreshold == 0 {
+		c.StorageThreshold = 0.8
+	}
+	if c.Bandit.Epsilon == 0 {
+		if online {
+			c.Bandit.Epsilon = 0.01
+		} else {
+			c.Bandit.Epsilon = 0.1
+		}
+	}
+	if c.Bandit.Optimism == 0 {
+		c.Bandit.Optimism = 1
+	}
+	if c.Bandit.Seed == 0 {
+		c.Bandit.Seed = c.Seed + 1
+	}
+	if c.Registry == nil {
+		c.Registry = compress.DefaultRegistry(c.Precision)
+	}
+	if c.CPUScale == 0 {
+		c.CPUScale = 1
+	}
+	if c.LosslessProbeInterval == 0 {
+		c.LosslessProbeInterval = 50
+	}
+	return c
+}
+
+// armNames resolves the candidate arm list: the override when set, else
+// every codec of the requested kind in the registry.
+func armNames(override, all []string) []string {
+	if len(override) == 0 {
+		return all
+	}
+	out := make([]string, len(override))
+	copy(out, override)
+	return out
+}
+
+// newPolicy builds the configured bandit policy.
+func newPolicy(cfg Config, arms int, seedOffset int64) bandit.Policy {
+	bc := cfg.Bandit
+	bc.Seed += seedOffset
+	if cfg.UseUCB {
+		return bandit.NewUCB1(arms, bc)
+	}
+	return bandit.NewEpsilonGreedy(arms, bc)
+}
+
+// Result describes how one segment was handled.
+type Result struct {
+	// SegmentID identifies the segment.
+	SegmentID uint64
+	// Codec is the selected codec name.
+	Codec string
+	// Lossy reports whether a lossy codec was used.
+	Lossy bool
+	// Ratio is the achieved compression ratio.
+	Ratio float64
+	// Reward is the bandit reward observed.
+	Reward float64
+	// AccuracyLoss is the workload accuracy loss for this segment (0 for
+	// lossless).
+	AccuracyLoss float64
+	// Duration is the compression wall time.
+	Duration time.Duration
+}
+
+// ErrNoFeasibleCodec is returned when no candidate can satisfy the
+// constraints — the failure mode of conventional selectors the paper
+// contrasts against; AdaEdge itself only returns it when even RRD-sample
+// cannot fit.
+var ErrNoFeasibleCodec = errors.New("core: no codec can satisfy the constraints")
+
+// ErrEnergyExhausted is returned once the configured energy budget has
+// been consumed.
+var ErrEnergyExhausted = errors.New("core: energy budget exhausted")
+
+// cloneValues copies a segment's values for evaluation snapshots.
+func cloneValues(v []float64) []float64 {
+	out := make([]float64, len(v))
+	copy(out, v)
+	return out
+}

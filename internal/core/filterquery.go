@@ -1,0 +1,43 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/query"
+	"repro/internal/store"
+)
+
+// QueryFiltered runs an aggregation over the values that satisfy pred,
+// and reports each segment's qualified-entry ratio to the segment
+// management policy — the informativeness signal of paper §IV-B2. With the
+// default LRU policy the ratio degrades to a plain access; with
+// store.Informativeness it weights future recoding victims.
+func (e *OfflineEngine) QueryFiltered(agg query.Agg, pred func(float64) bool) (float64, error) {
+	var qualified []float64
+	var ids []uint64
+	e.pool.Each(func(entry *store.Entry) { ids = append(ids, entry.ID) })
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	for _, id := range ids {
+		entry, ok := e.pool.Peek(id)
+		if !ok {
+			continue
+		}
+		values, err := e.reg.Decompress(entry.Enc)
+		if err != nil {
+			return 0, err
+		}
+		n := 0
+		for _, v := range values {
+			if pred(v) {
+				qualified = append(qualified, v)
+				n++
+			}
+		}
+		ratio := 0.0
+		if len(values) > 0 {
+			ratio = float64(n) / float64(len(values))
+		}
+		e.pool.RecordContribution(id, ratio)
+	}
+	return query.Apply(agg, qualified)
+}

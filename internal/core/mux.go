@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Mux routes segments from multiple sensor signals to per-signal online
+// engines — "AdaEdge allows the collection and aggregation of data from
+// multiple device clients" (paper §IV-C). Each signal gets its own bandit
+// state: different sensors have different statistics and the optimal
+// codec is a per-signal property. Engines are created lazily on first
+// sight of a signal, with deterministic per-signal seeds.
+type Mux struct {
+	mu      sync.Mutex
+	cfg     Config
+	engines map[string]*OnlineEngine
+	nextIdx int64
+}
+
+// NewMux builds a router; cfg is the template for every per-signal engine.
+func NewMux(cfg Config) (*Mux, error) {
+	// Validate the template eagerly by building a throwaway engine.
+	probe := cfg
+	if _, err := NewOnlineEngine(probe); err != nil {
+		return nil, fmt.Errorf("core: mux template: %w", err)
+	}
+	return &Mux{cfg: cfg, engines: make(map[string]*OnlineEngine)}, nil
+}
+
+// engineFor returns (creating if needed) the signal's engine.
+func (m *Mux) engineFor(signal string) (*OnlineEngine, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if e, ok := m.engines[signal]; ok {
+		return e, nil
+	}
+	cfg := m.cfg
+	cfg.Seed = m.cfg.Seed + 7919*(m.nextIdx+1) // deterministic per arrival order
+	m.nextIdx++
+	e, err := NewOnlineEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	m.engines[signal] = e
+	return e, nil
+}
+
+// Process routes one segment of the named signal.
+func (m *Mux) Process(signal string, values []float64, label int) (Result, error) {
+	e, err := m.engineFor(signal)
+	if err != nil {
+		return Result{}, err
+	}
+	// OnlineEngine is not internally synchronized; serialize per signal.
+	// Different signals still run concurrently through their own engines
+	// when the caller shards by signal (see Pipeline for that pattern);
+	// the mux itself guards the common map only.
+	res, _, err := e.Process(values, label)
+	return res, err
+}
+
+// Signals returns the known signal names, sorted.
+func (m *Mux) Signals() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.engines))
+	for name := range m.engines {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Engine returns the engine for a signal, if it exists.
+func (m *Mux) Engine(signal string) (*OnlineEngine, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	e, ok := m.engines[signal]
+	return e, ok
+}
+
+// Stats merges all signals' statistics.
+func (m *Mux) Stats() OnlineStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	merged := OnlineStats{CodecUse: make(map[string]int)}
+	for _, e := range m.engines {
+		st := e.Stats()
+		merged.Segments += st.Segments
+		merged.LosslessSegments += st.LosslessSegments
+		merged.LossySegments += st.LossySegments
+		merged.TotalRawBytes += st.TotalRawBytes
+		merged.TotalCompressedBytes += st.TotalCompressedBytes
+		merged.AccuracyLossSum += st.AccuracyLossSum
+		merged.BandwidthViolations += st.BandwidthViolations
+		for k, v := range st.CodecUse {
+			merged.CodecUse[k] += v
+		}
+	}
+	return merged
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/datasets"
+)
+
+func TestMuxRoutesPerSignal(t *testing.T) {
+	m, err := NewMux(Config{
+		TargetRatioOverride: 0.5,
+		Objective:           SingleTarget(TargetRatio),
+		Seed:                1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two signals with very different statistics: CBF (noisy) and a
+	// low-cardinality plateau signal.
+	cbf := datasets.NewCBFStream(datasets.CBFConfig{Seed: 2})
+	rng := rand.New(rand.NewSource(3))
+	plateau := func() []float64 {
+		out := make([]float64, 128)
+		level := 1.25
+		for i := range out {
+			if rng.Intn(40) == 0 {
+				level = float64(rng.Intn(4))
+			}
+			out[i] = level
+		}
+		return out
+	}
+	for i := 0; i < 120; i++ {
+		series, label := cbf.Next()
+		if _, err := m.Process("vibration", series, label); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Process("valve-state", plateau(), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := m.Signals(); len(got) != 2 || got[0] != "valve-state" || got[1] != "vibration" {
+		t.Fatalf("signals = %v", got)
+	}
+	// Per-signal bandits should converge to different codecs: the plateau
+	// signal compresses far better, so its overall ratio must be much
+	// smaller.
+	vib, _ := m.Engine("vibration")
+	valve, _ := m.Engine("valve-state")
+	if valve.Stats().OverallRatio() >= vib.Stats().OverallRatio() {
+		t.Fatalf("plateau signal ratio %v should undercut CBF ratio %v",
+			valve.Stats().OverallRatio(), vib.Stats().OverallRatio())
+	}
+	merged := m.Stats()
+	if merged.Segments != 240 {
+		t.Fatalf("merged segments = %d", merged.Segments)
+	}
+}
+
+func TestMuxUnknownEngine(t *testing.T) {
+	m, err := NewMux(Config{
+		TargetRatioOverride: 0.5,
+		Objective:           SingleTarget(TargetRatio),
+		Seed:                1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.Engine("nope"); ok {
+		t.Fatal("phantom engine")
+	}
+}
+
+func TestMuxTemplateValidation(t *testing.T) {
+	if _, err := NewMux(Config{Objective: SingleTarget(TargetRatio)}); err == nil {
+		t.Fatal("template without bandwidth/override should fail")
+	}
+}

@@ -1,0 +1,485 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/bandit"
+	"repro/internal/compress"
+	"repro/internal/query"
+	"repro/internal/sim"
+	"repro/internal/store"
+)
+
+// OfflineEngine implements AdaEdge's offline mode (paper §IV-C2): the edge
+// node has no egress link, so ingested data must keep evolving within the
+// storage budget. Segments are first compressed losslessly; when usage
+// crosses the recoding threshold θ, the least-recently-used segments are
+// recoded to roughly half their size, with a per-ratio-range bandit pool
+// choosing the lossy codec that best preserves the workload target.
+type OfflineEngine struct {
+	cfg  Config
+	reg  *compress.Registry
+	eval *Evaluator
+
+	losslessNames []string
+	lossyNames    []string
+	losslessMAB   bandit.Policy
+	lossyPool     *bandit.Pool
+
+	storage *sim.Storage
+	pool    *store.Pool
+	clock   *sim.Clock
+
+	nextID       uint64
+	recodeBudget float64 // virtual seconds available to the recoder
+	accLoss      accLossCache
+	energy       *EnergyMeter
+	costFn       func(op, codec string, points int) float64
+
+	stats OfflineStats
+}
+
+// OfflineStats aggregates engine-level outcomes.
+type OfflineStats struct {
+	// SegmentsIngested counts ingested segments.
+	SegmentsIngested int
+	// Recodes counts recoding operations.
+	Recodes int
+	// VirtualRecodes counts recodes that used the same-codec virtual
+	// decompression path.
+	VirtualRecodes int
+	// Fallbacks counts RRD-sample last-resort recodes.
+	Fallbacks int
+	// RecodeSkips counts recodes deferred for lack of CPU budget.
+	RecodeSkips int
+	// LosslessUse / LossyUse count codec selections.
+	LosslessUse, LossyUse map[string]int
+}
+
+// Snapshot is one point of the space/accuracy time series the paper's
+// Figs 12–14 plot.
+type Snapshot struct {
+	// Seconds is the virtual ingestion time.
+	Seconds float64
+	// SpaceUtilization is used/capacity.
+	SpaceUtilization float64
+	// MeanAccuracyLoss averages the cached per-segment workload accuracy
+	// loss over all stored segments (lossless segments contribute 0).
+	MeanAccuracyLoss float64
+	// Segments is the pool size.
+	Segments int
+}
+
+// NewOfflineEngine builds the engine.
+func NewOfflineEngine(cfg Config) (*OfflineEngine, error) {
+	cfg = cfg.withDefaults(false)
+	if cfg.StorageBytes <= 0 {
+		return nil, fmt.Errorf("core: offline mode requires StorageBytes")
+	}
+	eval, err := NewEvaluator(cfg.Objective)
+	if err != nil {
+		return nil, err
+	}
+	if eval.NeedsAccuracy() {
+		cfg.KeepEvalRaw = true
+	}
+	e := &OfflineEngine{
+		cfg:           cfg,
+		reg:           cfg.Registry,
+		eval:          eval,
+		losslessNames: armNames(cfg.LosslessArms, cfg.Registry.Lossless()),
+		lossyNames:    armNames(cfg.LossyArms, cfg.Registry.Lossy()),
+		storage:       sim.NewStorage(cfg.StorageBytes, cfg.StorageThreshold),
+		pool:          store.NewPool(cfg.Policy),
+		clock:         sim.NewClock(cfg.IngestRate),
+	}
+	e.losslessMAB = newPolicy(cfg, len(e.losslessNames), 303)
+	factory := func(arms int, bc bandit.Config) bandit.Policy {
+		if cfg.UseUCB {
+			return bandit.NewUCB1(arms, bc)
+		}
+		return bandit.NewEpsilonGreedy(arms, bc)
+	}
+	bc := cfg.Bandit
+	bc.Seed += 404
+	bounds := []float64(nil) // default per-ratio-range pool
+	if cfg.SingleLossyMAB {
+		bounds = []float64{} // one bucket: the ablation configuration
+	}
+	e.lossyPool = bandit.NewPool(len(e.lossyNames), bc, bounds, factory)
+	e.stats.LosslessUse = make(map[string]int)
+	e.stats.LossyUse = make(map[string]int)
+	e.costFn = cfg.CodecCost
+	if e.costFn == nil {
+		e.costFn = DefaultCodecCost
+	}
+	if cfg.DeviceWatts > 0 {
+		e.energy = NewEnergyMeter(cfg.DeviceWatts, cfg.EnergyBudgetJoules)
+	}
+	return e, nil
+}
+
+// Energy exposes the engine's energy meter (nil when metering is off).
+func (e *OfflineEngine) Energy() *EnergyMeter { return e.energy }
+
+// Clock exposes the virtual ingestion clock.
+func (e *OfflineEngine) Clock() *sim.Clock { return e.clock }
+
+// Storage exposes the storage budget.
+func (e *OfflineEngine) Storage() *sim.Storage { return e.storage }
+
+// Stats returns a copy of the engine statistics.
+func (e *OfflineEngine) Stats() OfflineStats { return e.stats }
+
+// Ingest compresses and stores one segment, recoding older segments as
+// needed to stay inside the budget. It returns sim.ErrBudgetExceeded when
+// even maximal recoding (or a starved recoder, under RecodeBudget) cannot
+// make room — the hard failure the paper's Fig 14 baselines hit.
+func (e *OfflineEngine) Ingest(values []float64, label int) error {
+	if len(values) == 0 {
+		return compress.ErrEmptyInput
+	}
+	if e.energy.Exhausted() {
+		return ErrEnergyExhausted
+	}
+	e.clock.Advance(len(values))
+	if e.cfg.RecodeBudget {
+		e.recodeBudget += float64(len(values)) / e.cfg.IngestRate
+	}
+	e.stats.SegmentsIngested++
+
+	id := e.nextID
+	e.nextID++
+
+	// Lossless selection: minimize compressed size (paper §IV-C2).
+	arm := e.losslessMAB.Select(nil)
+	name := e.losslessNames[arm]
+	codec, _ := e.reg.Lookup(name)
+	enc, err := codec.Compress(values)
+	if err != nil {
+		e.losslessMAB.Update(arm, 0)
+		return err
+	}
+	e.losslessMAB.Update(arm, 1-minf(enc.Ratio(), 1))
+	e.stats.LosslessUse[name]++
+	e.energy.Charge(e.costFn("encode", name, len(values)))
+
+	end := e.clock.Seconds()
+	entry := &store.Entry{
+		ID: id, Enc: enc, Lossless: true, Label: label,
+		StartSec: end - float64(len(values))/e.cfg.IngestRate,
+		EndSec:   end,
+	}
+	if e.cfg.KeepEvalRaw {
+		entry.EvalRaw = cloneValues(values)
+	}
+
+	// Make room, then store.
+	if err := e.makeRoom(int64(enc.Size())); err != nil {
+		return err
+	}
+	if err := e.storage.Alloc(int64(enc.Size())); err != nil {
+		return err
+	}
+	e.pool.Put(entry)
+
+	// Threshold-triggered cascade recoding (paper Fig 4).
+	for e.storage.OverThreshold() {
+		if !e.recodeOne() {
+			break
+		}
+	}
+	return nil
+}
+
+// makeRoom recodes until need bytes fit under capacity.
+func (e *OfflineEngine) makeRoom(need int64) error {
+	for e.storage.Used()+need > e.storage.Capacity() {
+		if !e.recodeOne() {
+			return sim.ErrBudgetExceeded
+		}
+	}
+	return nil
+}
+
+// recodeOne compresses the policy's victim more aggressively. It returns
+// false when no segment can be shrunk further or the recoder is out of
+// CPU budget.
+func (e *OfflineEngine) recodeOne() bool {
+	if e.cfg.RecodeBudget && e.recodeBudget <= 0 {
+		e.stats.RecodeSkips++
+		return false
+	}
+	tried := 0
+	for tried <= e.pool.Len() {
+		victim, ok := e.pool.Victim()
+		if !ok {
+			return false
+		}
+		tried++
+		shrunk, err := e.recodeEntry(victim)
+		if err != nil || !shrunk {
+			// Demote the unshrinkable victim and try the next one.
+			e.pool.Skip(victim.ID)
+			continue
+		}
+		return true
+	}
+	return false
+}
+
+// recodeEntry halves the victim's size, preferring the virtual
+// decompression path, and feeds the reward back to the ratio range's
+// bandit instance.
+func (e *OfflineEngine) recodeEntry(victim *store.Entry) (bool, error) {
+	oldSize := victim.Enc.Size()
+	current := victim.Enc.Ratio()
+	target := current / 2 // paper: "the size is reduced to half"
+
+	start := time.Now()
+
+	// Determine raw values for feasibility checks and (if needed) full
+	// recompression. EvalRaw is measurement ground truth; the recode
+	// itself must work from the stored representation, so we decode.
+	var values []float64
+	decode := func() ([]float64, error) {
+		if values != nil {
+			return values, nil
+		}
+		v, err := e.reg.Decompress(victim.Enc)
+		if err != nil {
+			return nil, err
+		}
+		values = v
+		return v, nil
+	}
+
+	mab := e.lossyPool.For(target)
+	allowed := make([]bool, len(e.lossyNames))
+	anyAllowed := false
+	ref := victim.EvalRaw
+	if ref == nil {
+		v, err := decode()
+		if err != nil {
+			return false, err
+		}
+		ref = v
+	}
+	for i, name := range e.lossyNames {
+		c, _ := e.reg.Lookup(name)
+		if c.(compress.LossyCodec).MinRatio(ref) <= target {
+			allowed[i] = true
+			anyAllowed = true
+		}
+	}
+
+	var newEnc compress.Encoded
+	var codecName string
+	virtual := false
+	switch {
+	case anyAllowed:
+		arm := mab.Select(allowed)
+		codecName = e.lossyNames[arm]
+		c, _ := e.reg.Lookup(codecName)
+		lc := c.(compress.LossyCodec)
+		var err error
+		if rec, ok := lc.(compress.Recoder); ok && victim.Enc.Codec == codecName {
+			// Virtual decompression: same-codec direct recode (§IV-E).
+			newEnc, err = rec.Recode(victim.Enc, target)
+			virtual = true
+		} else {
+			var v []float64
+			if v, err = decode(); err == nil {
+				newEnc, err = lc.CompressRatio(v, target)
+			}
+		}
+		if err != nil {
+			mab.Update(arm, 0)
+			return false, err
+		}
+		if newEnc.Size() >= oldSize {
+			// The codec could not actually shrink the segment; tell the
+			// bandit and give up on this victim for now.
+			mab.Update(arm, 0)
+			return false, nil
+		}
+		reward, accLoss, err := e.scoreRecode(victim, newEnc)
+		if err != nil {
+			mab.Update(arm, 0)
+			return false, err
+		}
+		mab.Update(arm, reward)
+		e.finishRecode(victim, newEnc, oldSize, accLoss, virtual, e.recodeCost(start, victim.Enc.Codec, codecName, victim.Enc.N, virtual))
+		e.stats.LossyUse[codecName]++
+		return true, nil
+
+	default:
+		// Last resort: RRD-sample at whatever ratio it can still reach
+		// (paper Fig 12: "BUFF-lossy fails and falls back to RRD-sample").
+		c, ok := e.reg.Lookup("rrdsample")
+		if !ok {
+			return false, ErrNoFeasibleCodec
+		}
+		lc := c.(compress.LossyCodec)
+		fallbackTarget := target
+		if mr := lc.MinRatio(ref); mr > fallbackTarget {
+			fallbackTarget = mr
+		}
+		var err error
+		if rec, ok := lc.(compress.Recoder); ok && victim.Enc.Codec == lc.Name() {
+			newEnc, err = rec.Recode(victim.Enc, fallbackTarget)
+			virtual = true
+		} else {
+			var v []float64
+			if v, err = decode(); err == nil {
+				newEnc, err = lc.CompressRatio(v, fallbackTarget)
+			}
+		}
+		if err != nil {
+			return false, err
+		}
+		if newEnc.Size() >= oldSize {
+			return false, nil
+		}
+		_, accLoss, err := e.scoreRecode(victim, newEnc)
+		if err != nil {
+			return false, err
+		}
+		e.finishRecode(victim, newEnc, oldSize, accLoss, virtual, e.recodeCost(start, victim.Enc.Codec, lc.Name(), victim.Enc.N, virtual))
+		e.stats.Fallbacks++
+		e.stats.LossyUse[lc.Name()]++
+		return true, nil
+	}
+}
+
+// scoreRecode evaluates the recoded representation against the ground
+// truth and returns (bandit reward, accuracy loss).
+func (e *OfflineEngine) scoreRecode(victim *store.Entry, newEnc compress.Encoded) (reward, accLoss float64, err error) {
+	decoded, err := e.reg.Decompress(newEnc)
+	if err != nil {
+		return 0, 0, err
+	}
+	raw := victim.EvalRaw
+	if raw == nil {
+		// Without retained ground truth, score against the previous
+		// representation (best available reference).
+		raw, err = e.reg.Decompress(victim.Enc)
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	obs := Observation{Raw: raw, Decoded: decoded, CompressedBytes: newEnc.Size()}
+	return e.eval.Reward(obs), e.eval.AccuracyLoss(obs), nil
+}
+
+// recodeCost returns the virtual CPU seconds one recode consumed: the
+// deterministic model when configured, wall time otherwise. Virtual
+// (same-codec) recodes skip the decode cost — the point of §IV-E.
+func (e *OfflineEngine) recodeCost(start time.Time, oldCodec, newCodec string, points int, virtual bool) float64 {
+	// Energy is always charged on the deterministic model so the meter
+	// stays reproducible even when the recoder budget uses wall time.
+	energyCost := e.costFn("encode", newCodec, points)
+	if !virtual {
+		energyCost += e.costFn("decode", oldCodec, points)
+	}
+	e.energy.Charge(energyCost)
+
+	if e.cfg.CodecCost == nil {
+		return time.Since(start).Seconds()
+	}
+	cost := e.cfg.CodecCost("encode", newCodec, points)
+	if !virtual {
+		cost += e.cfg.CodecCost("decode", oldCodec, points)
+	}
+	return cost
+}
+
+// finishRecode commits the new representation, storage accounting, CPU
+// budget accounting, and LRU repositioning.
+func (e *OfflineEngine) finishRecode(victim *store.Entry, newEnc compress.Encoded, oldSize int, accLoss float64, virtual bool, cost float64) {
+	_ = e.storage.Resize(int64(newEnc.Size() - oldSize)) // shrink never fails
+	victim.Enc = newEnc
+	victim.Lossless = false
+	victim.Level++
+	e.pool.Touch(victim.ID)
+	e.setAccLoss(victim.ID, accLoss)
+	e.stats.Recodes++
+	if virtual {
+		e.stats.VirtualRecodes++
+	}
+	if e.cfg.RecodeBudget {
+		e.recodeBudget -= cost * e.cfg.CPUScale
+	}
+}
+
+// accLoss bookkeeping: cached per segment, averaged for snapshots.
+type accLossCache map[uint64]float64
+
+func (e *OfflineEngine) setAccLoss(id uint64, loss float64) {
+	if e.accLoss == nil {
+		e.accLoss = make(accLossCache)
+	}
+	e.accLoss[id] = loss
+}
+
+// Snapshot captures the current space/accuracy state. Losses are summed
+// in segment-id order so the result is bit-for-bit reproducible.
+func (e *OfflineEngine) Snapshot() Snapshot {
+	var ids []uint64
+	e.pool.Each(func(entry *store.Entry) { ids = append(ids, entry.ID) })
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	var sum float64
+	for _, id := range ids {
+		sum += e.accLoss[id]
+	}
+	n := len(ids)
+	mean := 0.0
+	if n > 0 {
+		mean = sum / float64(n)
+	}
+	return Snapshot{
+		Seconds:          e.clock.Seconds(),
+		SpaceUtilization: e.storage.Utilization(),
+		MeanAccuracyLoss: mean,
+		Segments:         n,
+	}
+}
+
+// Query runs an aggregation over every stored segment (decompressing as
+// needed); query access moves segments to the MRU end of the policy list,
+// protecting them from recoding (paper §IV-F).
+func (e *OfflineEngine) Query(agg query.Agg) (float64, error) {
+	var all []float64
+	var ids []uint64
+	e.pool.Each(func(entry *store.Entry) { ids = append(ids, entry.ID) })
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	for _, id := range ids {
+		entry, ok := e.pool.Get(id) // records the access
+		if !ok {
+			continue
+		}
+		v, err := e.reg.Decompress(entry.Enc)
+		if err != nil {
+			return 0, err
+		}
+		all = append(all, v...)
+	}
+	return query.Apply(agg, all)
+}
+
+// QuerySegment decompresses one segment by id, recording the access.
+func (e *OfflineEngine) QuerySegment(id uint64) ([]float64, error) {
+	entry, ok := e.pool.Get(id)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown segment %d", id)
+	}
+	return e.reg.Decompress(entry.Enc)
+}
+
+// Segments returns the number of stored segments.
+func (e *OfflineEngine) Segments() int { return e.pool.Len() }
+
+// EachEntry iterates the compressed pool (for experiment reporting).
+func (e *OfflineEngine) EachEntry(fn func(*store.Entry)) { e.pool.Each(fn) }

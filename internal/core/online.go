@@ -1,0 +1,340 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bandit"
+	"repro/internal/compress"
+	"repro/internal/sim"
+)
+
+// OnlineEngine implements AdaEdge's online mode (paper §IV-C1): the edge
+// node is continuously connected and every segment must leave through a
+// link of capacity B while being ingested at rate I, yielding the target
+// compression ratio R = B/(64×I). Lossless compression is preferred; when
+// R is infeasible losslessly, a dedicated lossy-selection bandit takes
+// over, optimizing the workload target.
+type OnlineEngine struct {
+	cfg         Config
+	reg         *compress.Registry
+	eval        *Evaluator
+	targetRatio float64
+
+	losslessNames []string
+	lossyNames    []string
+	losslessMAB   bandit.Policy
+	lossyMAB      bandit.Policy
+
+	nextID         uint64
+	losslessFails  int
+	sinceProbe     int
+	losslessViable bool
+
+	energy *EnergyMeter
+	costFn func(op, codec string, points int) float64
+
+	stats OnlineStats
+}
+
+// OnlineStats aggregates stream-level outcomes.
+type OnlineStats struct {
+	// Segments is the number processed.
+	Segments int
+	// LosslessSegments and LossySegments partition them.
+	LosslessSegments, LossySegments int
+	// TotalRawBytes and TotalCompressedBytes accumulate sizes.
+	TotalRawBytes, TotalCompressedBytes int64
+	// AccuracyLossSum accumulates per-segment accuracy loss.
+	AccuracyLossSum float64
+	// BandwidthViolations counts segments whose egress exceeded the link
+	// capacity at the configured ingest rate.
+	BandwidthViolations int
+	// CodecUse counts selections per codec.
+	CodecUse map[string]int
+}
+
+// MeanAccuracyLoss returns the average per-segment workload accuracy loss.
+func (s OnlineStats) MeanAccuracyLoss() float64 {
+	if s.Segments == 0 {
+		return 0
+	}
+	return s.AccuracyLossSum / float64(s.Segments)
+}
+
+// OverallRatio returns total compressed bytes over total raw bytes.
+func (s OnlineStats) OverallRatio() float64 {
+	if s.TotalRawBytes == 0 {
+		return 0
+	}
+	return float64(s.TotalCompressedBytes) / float64(s.TotalRawBytes)
+}
+
+// NewOnlineEngine builds the engine. The target ratio comes from
+// cfg.TargetRatioOverride if positive, else from R = B/(64×I).
+func NewOnlineEngine(cfg Config) (*OnlineEngine, error) {
+	cfg = cfg.withDefaults(true)
+	eval, err := NewEvaluator(cfg.Objective)
+	if err != nil {
+		return nil, err
+	}
+	target := cfg.TargetRatioOverride
+	if target <= 0 {
+		if cfg.Bandwidth <= 0 {
+			return nil, fmt.Errorf("core: online mode requires Bandwidth or TargetRatioOverride")
+		}
+		target = sim.TargetRatio(cfg.IngestRate, cfg.Bandwidth)
+	}
+	if target > 1 {
+		target = 1
+	}
+	e := &OnlineEngine{
+		cfg:            cfg,
+		reg:            cfg.Registry,
+		eval:           eval,
+		targetRatio:    target,
+		losslessNames:  armNames(cfg.LosslessArms, cfg.Registry.Lossless()),
+		lossyNames:     armNames(cfg.LossyArms, cfg.Registry.Lossy()),
+		losslessViable: true,
+	}
+	e.losslessMAB = newPolicy(cfg, len(e.losslessNames), 101)
+	e.lossyMAB = newPolicy(cfg, len(e.lossyNames), 202)
+	e.stats.CodecUse = make(map[string]int)
+	e.costFn = cfg.CodecCost
+	if e.costFn == nil {
+		e.costFn = DefaultCodecCost
+	}
+	if cfg.DeviceWatts > 0 {
+		e.energy = NewEnergyMeter(cfg.DeviceWatts, cfg.EnergyBudgetJoules)
+	}
+	return e, nil
+}
+
+// Energy exposes the engine's energy meter (nil when metering is off).
+func (e *OnlineEngine) Energy() *EnergyMeter { return e.energy }
+
+// TargetRatio returns the ratio the engine compresses toward.
+func (e *OnlineEngine) TargetRatio() float64 { return e.targetRatio }
+
+// Retarget recomputes the target compression ratio for a new link
+// capacity — the paper's variable-bandwidth case (§IV-A2). Lossless
+// viability is re-probed from scratch because a looser target may make
+// lossless feasible again; the bandit estimates are kept (data statistics
+// did not change, only the constraint).
+func (e *OnlineEngine) Retarget(bw sim.Bandwidth) {
+	e.cfg.Bandwidth = bw
+	target := sim.TargetRatio(e.cfg.IngestRate, bw)
+	if target > 1 {
+		target = 1
+	}
+	e.targetRatio = target
+	e.losslessViable = true
+	e.losslessFails = 0
+	e.sinceProbe = 0
+}
+
+// RetargetRatio fixes the target ratio directly.
+func (e *OnlineEngine) RetargetRatio(ratio float64) {
+	if ratio > 1 {
+		ratio = 1
+	}
+	if ratio <= 0 {
+		return
+	}
+	e.targetRatio = ratio
+	e.losslessViable = true
+	e.losslessFails = 0
+	e.sinceProbe = 0
+}
+
+// Stats returns a copy of the stream statistics.
+func (e *OnlineEngine) Stats() OnlineStats { return e.stats }
+
+// ratioSlack tolerates rounding in codec size targeting.
+const ratioSlack = 1e-9
+
+// Process compresses one segment (a fixed-size array of points, paper
+// §IV-C) and returns the outcome. The caller transmits Result-associated
+// bytes; the engine only accounts for them.
+func (e *OnlineEngine) Process(values []float64, label int) (Result, compress.Encoded, error) {
+	if len(values) == 0 {
+		return Result{}, compress.Encoded{}, compress.ErrEmptyInput
+	}
+	if e.energy.Exhausted() {
+		return Result{}, compress.Encoded{}, ErrEnergyExhausted
+	}
+	id := e.nextID
+	e.nextID++
+
+	// Phase 1: lossless, preferred whenever it can meet R (paper: "We
+	// choose the best lossless compression by default").
+	if e.tryLossless() {
+		res, enc, ok := e.processLossless(id, values)
+		if ok {
+			e.account(res)
+			return res, enc, nil
+		}
+	}
+
+	// Phase 2: lossy selection toward the target ratio.
+	res, enc, err := e.processLossy(id, values)
+	if err != nil {
+		return Result{}, compress.Encoded{}, err
+	}
+	e.account(res)
+	return res, enc, nil
+}
+
+// tryLossless decides whether to attempt lossless compression this
+// segment. After repeated infeasibility the engine mostly skips the
+// attempt, re-probing periodically so it can recover if the data becomes
+// more compressible.
+func (e *OnlineEngine) tryLossless() bool {
+	if e.targetRatio >= 1 {
+		return true
+	}
+	if e.losslessViable {
+		return true
+	}
+	e.sinceProbe++
+	if e.sinceProbe >= e.cfg.LosslessProbeInterval {
+		e.sinceProbe = 0
+		return true
+	}
+	return false
+}
+
+// processLossless attempts lossless compression under the target ratio.
+// Infeasibility is a property of the *best* lossless codec, not of one
+// exploratory pick, so on a miss the engine retries the remaining arms
+// before concluding the segment cannot be handled losslessly.
+func (e *OnlineEngine) processLossless(id uint64, values []float64) (Result, compress.Encoded, bool) {
+	allowed := make([]bool, len(e.losslessNames))
+	for i := range allowed {
+		allowed[i] = true
+	}
+	for remaining := len(e.losslessNames); remaining > 0; remaining-- {
+		arm := e.losslessMAB.Select(allowed)
+		if arm < 0 {
+			break
+		}
+		allowed[arm] = false
+		name := e.losslessNames[arm]
+		codec, _ := e.reg.Lookup(name)
+		// Every attempt costs energy, including ones the target rejects.
+		e.energy.Charge(e.costFn("encode", name, len(values)))
+		start := time.Now()
+		enc, err := codec.Compress(values)
+		dur := time.Since(start)
+		if err != nil {
+			e.losslessMAB.Update(arm, 0)
+			continue
+		}
+		ratio := enc.Ratio()
+		// Lossless selection optimizes compressed size regardless of the
+		// workload target: task accuracy is unaffected (paper §IV-C1).
+		e.losslessMAB.Update(arm, 1-minf(ratio, 1))
+		if e.targetRatio < 1 && ratio > e.targetRatio+ratioSlack {
+			continue
+		}
+		e.losslessFails = 0
+		e.losslessViable = true
+		return Result{
+			SegmentID: id, Codec: name, Lossy: false, Ratio: ratio,
+			Reward: 1 - minf(ratio, 1), Duration: dur,
+		}, enc, true
+	}
+	e.losslessFails++
+	if e.losslessFails >= 2 {
+		e.losslessViable = false
+	}
+	return Result{}, compress.Encoded{}, false
+}
+
+func (e *OnlineEngine) processLossy(id uint64, values []float64) (Result, compress.Encoded, error) {
+	allowed := make([]bool, len(e.lossyNames))
+	feasible := false
+	for i, name := range e.lossyNames {
+		c, _ := e.reg.Lookup(name)
+		lc := c.(compress.LossyCodec)
+		if lc.MinRatio(values) <= e.targetRatio {
+			allowed[i] = true
+			feasible = true
+		}
+	}
+	if !feasible {
+		return Result{}, compress.Encoded{}, ErrNoFeasibleCodec
+	}
+	arm := e.lossyMAB.Select(allowed)
+	name := e.lossyNames[arm]
+	codec, _ := e.reg.Lookup(name)
+	lc := codec.(compress.LossyCodec)
+	e.energy.Charge(e.costFn("encode", name, len(values)))
+
+	start := time.Now()
+	enc, err := lc.CompressRatio(values, e.targetRatio)
+	dur := time.Since(start)
+	if err != nil {
+		e.lossyMAB.Update(arm, 0)
+		return Result{}, compress.Encoded{}, fmt.Errorf("core: %s at ratio %.3f: %w", name, e.targetRatio, err)
+	}
+	decoded, err := lc.Decompress(enc)
+	if err != nil {
+		e.lossyMAB.Update(arm, 0)
+		return Result{}, compress.Encoded{}, err
+	}
+	obs := Observation{Raw: values, Decoded: decoded, CompressedBytes: enc.Size(), Duration: dur}
+	reward := e.eval.Reward(obs)
+	e.lossyMAB.Update(arm, reward)
+	return Result{
+		SegmentID: id, Codec: name, Lossy: true, Ratio: enc.Ratio(),
+		Reward: reward, AccuracyLoss: e.eval.AccuracyLoss(obs), Duration: dur,
+	}, enc, nil
+}
+
+func (e *OnlineEngine) account(res Result) {
+	e.stats.Segments++
+	if res.Lossy {
+		e.stats.LossySegments++
+	} else {
+		e.stats.LosslessSegments++
+	}
+	raw := int64(8 * e.cfg.SegmentLength)
+	e.stats.TotalRawBytes += raw
+	e.stats.TotalCompressedBytes += int64(float64(raw) * res.Ratio)
+	e.stats.AccuracyLossSum += res.AccuracyLoss
+	e.stats.CodecUse[res.Codec]++
+	// Egress feasibility: at ingest rate I the per-second egress is
+	// I × 8 × ratio bytes.
+	if e.cfg.Bandwidth > 0 && !e.cfg.Bandwidth.Carries(e.cfg.IngestRate*8*res.Ratio) {
+		e.stats.BandwidthViolations++
+	}
+}
+
+// LossyEstimates exposes the lossy bandit's per-codec value estimates
+// (diagnostics and experiment reporting).
+func (e *OnlineEngine) LossyEstimates() map[string]float64 {
+	est := e.lossyMAB.Estimates()
+	out := make(map[string]float64, len(est))
+	for i, name := range e.lossyNames {
+		out[name] = est[i]
+	}
+	return out
+}
+
+// LosslessEstimates exposes the lossless bandit's estimates.
+func (e *OnlineEngine) LosslessEstimates() map[string]float64 {
+	est := e.losslessMAB.Estimates()
+	out := make(map[string]float64, len(est))
+	for i, name := range e.losslessNames {
+		out[name] = est[i]
+	}
+	return out
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,283 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/compress"
+	"repro/internal/datasets"
+	"repro/internal/ml"
+	"repro/internal/query"
+	"repro/internal/sim"
+)
+
+func cbfModel(t *testing.T) ml.Classifier {
+	t.Helper()
+	X, y := datasets.CBF(150, datasets.CBFConfig{Seed: 5})
+	m, err := ml.FitKNN(X, y, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func runOnline(t *testing.T, e *OnlineEngine, segments int, seed int64) []Result {
+	t.Helper()
+	stream := datasets.NewCBFStream(datasets.CBFConfig{Seed: seed})
+	var out []Result
+	for i := 0; i < segments; i++ {
+		series, label := stream.Next()
+		res, enc, err := e.Process(series, label)
+		if err != nil {
+			t.Fatalf("segment %d: %v", i, err)
+		}
+		if enc.N != len(series) {
+			t.Fatalf("segment %d: enc.N = %d", i, enc.N)
+		}
+		out = append(out, res)
+	}
+	return out
+}
+
+func TestOnlineNeedsBandwidthOrOverride(t *testing.T) {
+	if _, err := NewOnlineEngine(Config{Objective: SingleTarget(TargetRatio)}); err == nil {
+		t.Fatal("expected error without bandwidth or override")
+	}
+}
+
+func TestOnlineRejectsEmptySegment(t *testing.T) {
+	e, err := NewOnlineEngine(Config{TargetRatioOverride: 0.5, Objective: SingleTarget(TargetRatio), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := e.Process(nil, 0); err != compress.ErrEmptyInput {
+		t.Fatalf("want ErrEmptyInput, got %v", err)
+	}
+}
+
+func TestOnlineTargetRatioFromConstraints(t *testing.T) {
+	e, err := NewOnlineEngine(Config{
+		IngestRate: 4e6, Bandwidth: sim.Net4G,
+		Objective: SingleTarget(TargetRatio), Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.TargetRatio(); got < 0.39 || got > 0.40 {
+		t.Fatalf("target ratio = %v, want ≈0.39", got)
+	}
+}
+
+func TestOnlineUsesLosslessWhenFeasible(t *testing.T) {
+	// Ratio 0.9 is achievable losslessly on CBF data: no accuracy loss,
+	// no lossy segments.
+	e, err := NewOnlineEngine(Config{
+		TargetRatioOverride: 0.9,
+		Objective:           MLTarget(cbfModel(t)),
+		Seed:                2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := runOnline(t, e, 60, 20)
+	st := e.Stats()
+	if st.LossySegments > st.Segments/4 {
+		t.Fatalf("too many lossy segments at loose ratio: %d/%d", st.LossySegments, st.Segments)
+	}
+	for _, r := range results {
+		if !r.Lossy && r.AccuracyLoss != 0 {
+			t.Fatal("lossless segment reported accuracy loss")
+		}
+	}
+}
+
+func TestOnlineFallsBackToLossyAtTightRatio(t *testing.T) {
+	// Ratio 0.1 is far below any lossless codec's reach on CBF.
+	e, err := NewOnlineEngine(Config{
+		TargetRatioOverride: 0.1,
+		Objective:           MLTarget(cbfModel(t)),
+		Seed:                3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runOnline(t, e, 80, 21)
+	st := e.Stats()
+	if st.LossySegments < st.Segments*3/4 {
+		t.Fatalf("expected mostly lossy segments at ratio 0.1, got %d/%d", st.LossySegments, st.Segments)
+	}
+	if r := st.OverallRatio(); r > 0.12 {
+		t.Fatalf("overall ratio %v exceeds target band", r)
+	}
+}
+
+func TestOnlineRespectsRatioAcrossStream(t *testing.T) {
+	for _, target := range []float64{0.5, 0.25, 0.1} {
+		e, err := NewOnlineEngine(Config{
+			TargetRatioOverride: target,
+			Objective:           AggTarget(query.Sum),
+			Seed:                4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		results := runOnline(t, e, 40, 22)
+		for _, r := range results {
+			if r.Lossy && r.Ratio > target*1.2+0.02 {
+				t.Fatalf("target %v: lossy segment at ratio %v", target, r.Ratio)
+			}
+		}
+	}
+}
+
+func TestOnlineMLSelectionPrefersBUFFLossy(t *testing.T) {
+	// Paper Fig 7a: tree models are sensitive to value perturbations, so
+	// at moderate target ratios (> 0.125) BUFF-lossy — which minimally
+	// alters values — should become the bandit's dominant lossy choice.
+	X, y := datasets.CBF(240, datasets.CBFConfig{Seed: 5})
+	tree, err := ml.FitTree(X, y, ml.TreeConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewOnlineEngine(Config{
+		TargetRatioOverride: 0.22,
+		Objective:           MLTarget(tree),
+		Seed:                5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runOnline(t, e, 250, 23)
+	use := e.Stats().CodecUse
+	lossyTotal := 0
+	bestOther := 0
+	for _, name := range []string{"bufflossy", "paa", "pla", "fft", "lttb", "rrdsample"} {
+		lossyTotal += use[name]
+		if name != "bufflossy" && use[name] > bestOther {
+			bestOther = use[name]
+		}
+	}
+	if lossyTotal == 0 {
+		t.Fatal("no lossy selections recorded")
+	}
+	if use["bufflossy"] <= bestOther {
+		t.Fatalf("bufflossy (%d) should dominate other lossy codecs (best other %d): %v",
+			use["bufflossy"], bestOther, use)
+	}
+}
+
+func TestOnlineSumQuerySelectionAvoidsSampling(t *testing.T) {
+	// Paper Fig 8: PAA/FFT preserve sums; RRD-sample does not. The
+	// bandit must learn to avoid the sampler.
+	e, err := NewOnlineEngine(Config{
+		TargetRatioOverride: 0.1,
+		Objective:           AggTarget(query.Sum),
+		Seed:                6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runOnline(t, e, 200, 24)
+	use := e.Stats().CodecUse
+	good := use["paa"] + use["fft"]
+	if good < use["rrdsample"]*2 {
+		t.Fatalf("sum objective should prefer PAA/FFT over sampling: %v", use)
+	}
+	if loss := e.Stats().MeanAccuracyLoss(); loss > 0.1 {
+		t.Fatalf("mean sum-accuracy loss %v too high", loss)
+	}
+}
+
+func TestOnlineStatsAccounting(t *testing.T) {
+	e, err := NewOnlineEngine(Config{
+		TargetRatioOverride: 0.5,
+		Objective:           SingleTarget(TargetRatio),
+		Seed:                7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runOnline(t, e, 30, 25)
+	st := e.Stats()
+	if st.Segments != 30 {
+		t.Fatalf("segments = %d", st.Segments)
+	}
+	if st.LosslessSegments+st.LossySegments != st.Segments {
+		t.Fatal("segment partition does not add up")
+	}
+	if st.TotalRawBytes != int64(30*128*8) {
+		t.Fatalf("raw bytes = %d", st.TotalRawBytes)
+	}
+	total := 0
+	for _, n := range st.CodecUse {
+		total += n
+	}
+	if total != st.Segments {
+		t.Fatalf("codec use total = %d, want %d", total, st.Segments)
+	}
+}
+
+func TestOnlineNoFeasibleCodec(t *testing.T) {
+	// A registry with only BUFF-lossy cannot reach ratio 0.01 on CBF.
+	reg := compress.NewRegistry()
+	reg.Register(compress.NewBUFF(4))
+	reg.Register(compress.NewBUFFLossy(4))
+	e, err := NewOnlineEngine(Config{
+		TargetRatioOverride: 0.01,
+		Objective:           SingleTarget(TargetRatio),
+		Registry:            reg,
+		Seed:                8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := datasets.NewCBFStream(datasets.CBFConfig{Seed: 26})
+	series, label := stream.Next()
+	sawErr := false
+	for i := 0; i < 10; i++ {
+		if _, _, err := e.Process(series, label); err != nil {
+			sawErr = true
+			break
+		}
+	}
+	if !sawErr {
+		t.Fatal("expected ErrNoFeasibleCodec eventually")
+	}
+}
+
+func TestOnlineEstimatesExposed(t *testing.T) {
+	e, err := NewOnlineEngine(Config{
+		TargetRatioOverride: 0.1,
+		Objective:           AggTarget(query.Max),
+		Seed:                9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runOnline(t, e, 40, 27)
+	if got := e.LossyEstimates(); len(got) != 6 {
+		t.Fatalf("lossy estimates = %v", got)
+	}
+	if got := e.LosslessEstimates(); len(got) != 11 {
+		t.Fatalf("lossless estimates = %v", got)
+	}
+}
+
+func TestOnlineBandwidthViolationTracking(t *testing.T) {
+	// Force lossless at a rate the link cannot carry: ratio override 1.0
+	// means lossless always qualifies, but 4 M pts/s of barely-compressed
+	// doubles exceeds 2G, so violations must be flagged.
+	e, err := NewOnlineEngine(Config{
+		IngestRate:          4e6,
+		Bandwidth:           sim.Net2G,
+		TargetRatioOverride: 1.0,
+		Objective:           SingleTarget(TargetRatio),
+		Seed:                10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runOnline(t, e, 20, 28)
+	if e.Stats().BandwidthViolations == 0 {
+		t.Fatal("expected bandwidth violations to be recorded")
+	}
+}

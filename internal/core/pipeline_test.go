@@ -1,0 +1,79 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/datasets"
+	"repro/internal/query"
+)
+
+func TestPipelineProcessesAllSegments(t *testing.T) {
+	p, err := NewPipeline(Config{
+		TargetRatioOverride: 0.25,
+		Objective:           AggTarget(query.Sum),
+		Seed:                1,
+	}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Workers() != 4 {
+		t.Fatalf("workers = %d", p.Workers())
+	}
+	p.Start(context.Background())
+	stream := datasets.NewCBFStream(datasets.CBFConfig{Seed: 2})
+	const n = 200
+	for i := 0; i < n; i++ {
+		series, label := stream.Next()
+		p.Submit(LabeledSegment{Values: series, Label: label})
+	}
+	p.Close()
+	if errs := p.Errors(); len(errs) != 0 {
+		t.Fatalf("pipeline errors: %v", errs)
+	}
+	st := p.Stats()
+	if st.Segments != n {
+		t.Fatalf("processed %d segments, want %d", st.Segments, n)
+	}
+	if st.OverallRatio() > 0.3 {
+		t.Fatalf("overall ratio %v exceeds target band", st.OverallRatio())
+	}
+}
+
+func TestPipelineContextCancel(t *testing.T) {
+	p, err := NewPipeline(Config{
+		TargetRatioOverride: 0.5,
+		Objective:           SingleTarget(TargetRatio),
+		Seed:                3,
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	p.Start(ctx)
+	cancel()
+	// Workers must exit; Close must not hang even with pending jobs space.
+	p.Close()
+}
+
+func TestPipelineMinWorkers(t *testing.T) {
+	p, err := NewPipeline(Config{
+		TargetRatioOverride: 0.5,
+		Objective:           SingleTarget(TargetRatio),
+		Seed:                4,
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Workers() != 1 {
+		t.Fatalf("workers = %d, want clamp to 1", p.Workers())
+	}
+	p.Start(context.Background())
+	p.Close()
+}
+
+func TestPipelinePropagatesConfigError(t *testing.T) {
+	if _, err := NewPipeline(Config{Objective: SingleTarget(TargetRatio)}, 2); err == nil {
+		t.Fatal("expected error: no bandwidth or override")
+	}
+}

@@ -1,0 +1,29 @@
+package core
+
+import "testing"
+
+// DESIGN.md decision 1 / paper §IV-C2: per-ratio-range bandit instances
+// beat a single lossy bandit once streams are long enough for each range
+// bucket to accumulate evidence. On very short streams the pool pays a
+// cold-start penalty (each bucket explores from scratch); the paper's
+// 10 M-point streams are far past the crossover.
+func TestRangedPoolBeatsSingleMABAtScale(t *testing.T) {
+	obj := MLTarget(kmeansModel(t))
+	run := func(single bool) float64 {
+		e, err := NewOfflineEngine(Config{
+			StorageBytes:   60 << 10,
+			Objective:      obj,
+			Seed:           5,
+			SingleLossyMAB: single,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ingestCBF(t, e, 400, 55)
+		return e.Snapshot().MeanAccuracyLoss
+	}
+	ranged, single := run(false), run(true)
+	if ranged >= single {
+		t.Fatalf("at 400 segments the ranged pool (%.4f) should beat a single MAB (%.4f)", ranged, single)
+	}
+}

@@ -1,0 +1,258 @@
+// Package core implements the AdaEdge framework itself (paper §IV): the
+// online engine that selects compression under a bandwidth-derived target
+// ratio, the offline engine that evolves stored data within a storage
+// budget via cascade recoding, the optimization-target machinery (single
+// and weighted complex targets), and the bandit wiring that learns which
+// codec wins for the current data and workload.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/ml"
+	"repro/internal/query"
+)
+
+// TargetKind identifies a single optimization objective (paper §IV-D).
+type TargetKind int
+
+// Supported optimization targets.
+const (
+	// TargetRatio rewards small compressed size (lossless selection).
+	TargetRatio TargetKind = iota
+	// TargetThroughput rewards fast compression, C_thr = S_o/T_c, a
+	// power-efficiency proxy (paper §IV-D2).
+	TargetThroughput
+	// TargetAggAccuracy rewards aggregation-query agreement with raw data.
+	TargetAggAccuracy
+	// TargetMLAccuracy rewards ML prediction agreement with raw data.
+	TargetMLAccuracy
+)
+
+// String implements fmt.Stringer.
+func (k TargetKind) String() string {
+	switch k {
+	case TargetRatio:
+		return "ratio"
+	case TargetThroughput:
+		return "throughput"
+	case TargetAggAccuracy:
+		return "agg-accuracy"
+	case TargetMLAccuracy:
+		return "ml-accuracy"
+	default:
+		return "unknown"
+	}
+}
+
+// Term is one weighted component of an objective.
+type Term struct {
+	// Kind selects the metric.
+	Kind TargetKind
+	// Weight is the term's weight; weights are normalized at Build time.
+	Weight float64
+	// Agg is the operator for TargetAggAccuracy terms.
+	Agg query.Agg
+	// Model is the frozen, pre-trained model for TargetMLAccuracy terms.
+	// Its predictions on raw data are treated as ground truth (paper
+	// §IV-D1).
+	Model ml.Classifier
+}
+
+// Objective is a single- or multi-term optimization target: target_c =
+// Σ w_i × metric_i with Σ w_i = 1 (paper §IV-D3).
+type Objective struct {
+	Terms []Term
+}
+
+// Errors returned by objective construction.
+var (
+	ErrNoTerms      = errors.New("core: objective needs at least one term")
+	ErrMissingModel = errors.New("core: ML accuracy term requires a model")
+)
+
+// SingleTarget builds a one-term objective.
+func SingleTarget(kind TargetKind) Objective {
+	return Objective{Terms: []Term{{Kind: kind, Weight: 1}}}
+}
+
+// AggTarget builds a one-term aggregation objective.
+func AggTarget(a query.Agg) Objective {
+	return Objective{Terms: []Term{{Kind: TargetAggAccuracy, Weight: 1, Agg: a}}}
+}
+
+// MLTarget builds a one-term ML objective for the given frozen model.
+func MLTarget(m ml.Classifier) Objective {
+	return Objective{Terms: []Term{{Kind: TargetMLAccuracy, Weight: 1, Model: m}}}
+}
+
+// MLTargetFromBytes deserializes a shipped model blob (paper §IV-D1's
+// serialization module) and wraps it as an objective.
+func MLTargetFromBytes(blob []byte) (Objective, error) {
+	m, err := ml.Unmarshal(blob)
+	if err != nil {
+		return Objective{}, fmt.Errorf("core: load model: %w", err)
+	}
+	return MLTarget(m), nil
+}
+
+// Weighted builds a multi-term objective; weights are normalized to sum
+// to 1.
+func Weighted(terms ...Term) Objective { return Objective{Terms: terms} }
+
+// validate checks structural soundness and returns normalized terms.
+func (o Objective) validate() ([]Term, error) {
+	if len(o.Terms) == 0 {
+		return nil, ErrNoTerms
+	}
+	var sum float64
+	for _, t := range o.Terms {
+		if t.Kind == TargetMLAccuracy && t.Model == nil {
+			return nil, ErrMissingModel
+		}
+		if t.Weight < 0 {
+			return nil, fmt.Errorf("core: negative weight %v", t.Weight)
+		}
+		sum += t.Weight
+	}
+	if sum == 0 {
+		return nil, errors.New("core: objective weights sum to zero")
+	}
+	out := make([]Term, len(o.Terms))
+	copy(out, o.Terms)
+	for i := range out {
+		out[i].Weight /= sum
+	}
+	return out, nil
+}
+
+// Observation is everything the evaluator knows about one compression act.
+type Observation struct {
+	// Raw is the original segment (ground truth).
+	Raw []float64
+	// Decoded is the segment after decompression (equal to Raw for
+	// lossless codecs).
+	Decoded []float64
+	// CompressedBytes is the encoded size.
+	CompressedBytes int
+	// Duration is the wall time the compression took.
+	Duration time.Duration
+}
+
+// Evaluator turns observations into bandit rewards in [0,1]. Throughput is
+// normalized against the running maximum observed so far, so the weighted
+// complex targets of paper §IV-D3 combine commensurable quantities.
+type Evaluator struct {
+	mu      sync.Mutex
+	terms   []Term
+	maxThr  float64
+	hasML   bool
+	hasAgg  bool
+	hasSize bool
+}
+
+// NewEvaluator compiles an objective.
+func NewEvaluator(o Objective) (*Evaluator, error) {
+	terms, err := o.validate()
+	if err != nil {
+		return nil, err
+	}
+	e := &Evaluator{terms: terms}
+	for _, t := range terms {
+		switch t.Kind {
+		case TargetMLAccuracy:
+			e.hasML = true
+		case TargetAggAccuracy:
+			e.hasAgg = true
+		case TargetRatio:
+			e.hasSize = true
+		}
+	}
+	return e, nil
+}
+
+// NeedsAccuracy reports whether the objective depends on decompressed data
+// (ML or aggregation terms).
+func (e *Evaluator) NeedsAccuracy() bool { return e.hasML || e.hasAgg }
+
+// Reward scores an observation in [0,1] (higher is better).
+func (e *Evaluator) Reward(obs Observation) float64 {
+	var total float64
+	for _, t := range e.terms {
+		total += t.Weight * e.metric(t, obs)
+	}
+	if total < 0 {
+		return 0
+	}
+	if total > 1 {
+		return 1
+	}
+	return total
+}
+
+func (e *Evaluator) metric(t Term, obs Observation) float64 {
+	switch t.Kind {
+	case TargetRatio:
+		if len(obs.Raw) == 0 {
+			return 0
+		}
+		ratio := float64(obs.CompressedBytes) / float64(8*len(obs.Raw))
+		if ratio > 1 {
+			ratio = 1
+		}
+		return 1 - ratio
+	case TargetThroughput:
+		if obs.Duration <= 0 {
+			return 0
+		}
+		thr := float64(8*len(obs.Raw)) / obs.Duration.Seconds()
+		e.mu.Lock()
+		if thr > e.maxThr {
+			e.maxThr = thr
+		}
+		max := e.maxThr
+		e.mu.Unlock()
+		if max == 0 {
+			return 0
+		}
+		return thr / max
+	case TargetAggAccuracy:
+		acc, err := query.Evaluate(t.Agg, obs.Raw, obs.Decoded)
+		if err != nil {
+			return 0
+		}
+		return acc
+	case TargetMLAccuracy:
+		// One segment is one feature vector; agreement is binary per the
+		// paper's ACC_ml with |X| = 1 at update time.
+		if t.Model.Predict(obs.Raw) == t.Model.Predict(obs.Decoded) {
+			return 1
+		}
+		return 0
+	default:
+		return 0
+	}
+}
+
+// AccuracyLoss scores only the accuracy terms of the objective (1 -
+// weighted accuracy), the quantity the paper's figures plot. Terms without
+// an accuracy interpretation (size, throughput) are excluded and the
+// remaining weights renormalized; if the objective has no accuracy terms
+// the loss is 0.
+func (e *Evaluator) AccuracyLoss(obs Observation) float64 {
+	var acc, wsum float64
+	for _, t := range e.terms {
+		if t.Kind != TargetAggAccuracy && t.Kind != TargetMLAccuracy {
+			continue
+		}
+		acc += t.Weight * e.metric(t, obs)
+		wsum += t.Weight
+	}
+	if wsum == 0 {
+		return 0
+	}
+	return 1 - acc/wsum
+}

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/datasets"
+	"repro/internal/ml"
+	"repro/internal/query"
+)
+
+func trainedKNN(t *testing.T) ml.Classifier {
+	t.Helper()
+	X, y := datasets.CBF(120, datasets.CBFConfig{Seed: 42})
+	m, err := ml.FitKNN(X, y, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestObjectiveValidation(t *testing.T) {
+	if _, err := NewEvaluator(Objective{}); err != ErrNoTerms {
+		t.Fatalf("want ErrNoTerms, got %v", err)
+	}
+	if _, err := NewEvaluator(Objective{Terms: []Term{{Kind: TargetMLAccuracy, Weight: 1}}}); err != ErrMissingModel {
+		t.Fatalf("want ErrMissingModel, got %v", err)
+	}
+	if _, err := NewEvaluator(Objective{Terms: []Term{{Kind: TargetRatio, Weight: -1}}}); err == nil {
+		t.Fatal("negative weight should fail")
+	}
+	if _, err := NewEvaluator(Objective{Terms: []Term{{Kind: TargetRatio, Weight: 0}}}); err == nil {
+		t.Fatal("zero weight sum should fail")
+	}
+}
+
+func TestWeightsNormalized(t *testing.T) {
+	e, err := NewEvaluator(Weighted(
+		Term{Kind: TargetRatio, Weight: 5},
+		Term{Kind: TargetAggAccuracy, Weight: 3, Agg: query.Sum},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, term := range e.terms {
+		sum += term.Weight
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("normalized weight sum = %v", sum)
+	}
+}
+
+func TestRatioReward(t *testing.T) {
+	e, _ := NewEvaluator(SingleTarget(TargetRatio))
+	raw := make([]float64, 100)
+	obs := Observation{Raw: raw, Decoded: raw, CompressedBytes: 200} // ratio 0.25
+	if got := e.Reward(obs); math.Abs(got-0.75) > 1e-12 {
+		t.Fatalf("ratio reward = %v, want 0.75", got)
+	}
+	// Expansion clamps at ratio 1 → reward 0.
+	obs.CompressedBytes = 2000
+	if got := e.Reward(obs); got != 0 {
+		t.Fatalf("expanded reward = %v, want 0", got)
+	}
+}
+
+func TestThroughputRewardNormalizes(t *testing.T) {
+	e, _ := NewEvaluator(SingleTarget(TargetThroughput))
+	raw := make([]float64, 1000)
+	fast := Observation{Raw: raw, Decoded: raw, Duration: time.Millisecond}
+	slow := Observation{Raw: raw, Decoded: raw, Duration: 10 * time.Millisecond}
+	if got := e.Reward(fast); got != 1 {
+		t.Fatalf("first (max) throughput reward = %v, want 1", got)
+	}
+	if got := e.Reward(slow); math.Abs(got-0.1) > 1e-9 {
+		t.Fatalf("slow reward = %v, want 0.1", got)
+	}
+	if got := e.Reward(Observation{Raw: raw}); got != 0 {
+		t.Fatalf("zero-duration reward = %v, want 0", got)
+	}
+}
+
+func TestAggReward(t *testing.T) {
+	e, _ := NewEvaluator(AggTarget(query.Max))
+	obs := Observation{Raw: []float64{1, 2, 10}, Decoded: []float64{1, 2, 9}}
+	if got := e.Reward(obs); math.Abs(got-0.9) > 1e-12 {
+		t.Fatalf("max reward = %v, want 0.9", got)
+	}
+	if loss := e.AccuracyLoss(obs); math.Abs(loss-0.1) > 1e-12 {
+		t.Fatalf("accuracy loss = %v, want 0.1", loss)
+	}
+}
+
+func TestMLReward(t *testing.T) {
+	model := trainedKNN(t)
+	e, err := NewEvaluator(MLTarget(model))
+	if err != nil {
+		t.Fatal(err)
+	}
+	X, _ := datasets.CBF(3, datasets.CBFConfig{Seed: 7})
+	same := Observation{Raw: X[0], Decoded: X[0]}
+	if got := e.Reward(same); got != 1 {
+		t.Fatalf("identical reward = %v, want 1", got)
+	}
+	// A constant corrupt vector yields one fixed prediction: across the
+	// three CBF classes, at most one row can still agree.
+	corrupt := make([]float64, len(X[0]))
+	for i := range corrupt {
+		corrupt[i] = 1e6
+	}
+	var sum float64
+	for _, row := range X {
+		sum += e.Reward(Observation{Raw: row, Decoded: corrupt})
+	}
+	if sum > 1 {
+		t.Fatalf("corrupt rewards sum = %v across 3 classes, want <= 1", sum)
+	}
+	if !e.NeedsAccuracy() {
+		t.Fatal("ML objective should need accuracy")
+	}
+}
+
+func TestMLTargetFromBytes(t *testing.T) {
+	model := trainedKNN(t)
+	blob, err := ml.Marshal(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obj, err := MLTargetFromBytes(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewEvaluator(obj); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MLTargetFromBytes([]byte("junk")); err == nil {
+		t.Fatal("junk blob should fail")
+	}
+}
+
+func TestWeightedComplexTarget(t *testing.T) {
+	// Paper Fig 10: w1×Acc_agg + w2×Acc_ML.
+	model := trainedKNN(t)
+	e, err := NewEvaluator(Weighted(
+		Term{Kind: TargetAggAccuracy, Weight: 0.625, Agg: query.Sum},
+		Term{Kind: TargetMLAccuracy, Weight: 0.375, Model: model},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	X, _ := datasets.CBF(3, datasets.CBFConfig{Seed: 9})
+	obs := Observation{Raw: X[0], Decoded: X[0]}
+	if got := e.Reward(obs); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("perfect observation reward = %v, want 1", got)
+	}
+	if loss := e.AccuracyLoss(obs); loss != 0 {
+		t.Fatalf("perfect accuracy loss = %v, want 0", loss)
+	}
+}
+
+func TestAccuracyLossIgnoresNonAccuracyTerms(t *testing.T) {
+	e, _ := NewEvaluator(SingleTarget(TargetRatio))
+	obs := Observation{Raw: []float64{1, 2}, Decoded: []float64{9, 9}, CompressedBytes: 16}
+	if loss := e.AccuracyLoss(obs); loss != 0 {
+		t.Fatalf("size-only objective should report 0 accuracy loss, got %v", loss)
+	}
+	if e.NeedsAccuracy() {
+		t.Fatal("size-only objective should not need accuracy")
+	}
+}
+
+func TestTargetKindString(t *testing.T) {
+	for k, want := range map[TargetKind]string{
+		TargetRatio: "ratio", TargetThroughput: "throughput",
+		TargetAggAccuracy: "agg-accuracy", TargetMLAccuracy: "ml-accuracy",
+		TargetKind(9): "unknown",
+	} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}

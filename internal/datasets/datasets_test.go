@@ -1,0 +1,184 @@
+package datasets
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCBFShape(t *testing.T) {
+	X, y := CBF(30, CBFConfig{Seed: 1})
+	if len(X) != 30 || len(y) != 30 {
+		t.Fatalf("got %d/%d rows", len(X), len(y))
+	}
+	for i, row := range X {
+		if len(row) != CBFLength {
+			t.Fatalf("row %d length %d, want %d", i, len(row), CBFLength)
+		}
+		if y[i] != i%3 {
+			t.Fatalf("label %d = %d, want %d", i, y[i], i%3)
+		}
+	}
+}
+
+func TestCBFQuantizedToPrecision(t *testing.T) {
+	X, _ := CBF(9, CBFConfig{Seed: 2})
+	scale := math.Pow10(4)
+	for _, row := range X {
+		for _, v := range row {
+			if math.Round(v*scale)/scale != v {
+				t.Fatalf("value %v not quantized to 4 digits", v)
+			}
+		}
+	}
+}
+
+func TestCBFDeterministic(t *testing.T) {
+	a, _ := CBF(6, CBFConfig{Seed: 7})
+	b, _ := CBF(6, CBFConfig{Seed: 7})
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatal("same seed produced different data")
+			}
+		}
+	}
+	c, _ := CBF(6, CBFConfig{Seed: 8})
+	same := true
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != c[i][j] {
+				same = false
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical data")
+	}
+}
+
+func TestCBFClassShapes(t *testing.T) {
+	// The class structure must be learnable: the mean of the active region
+	// differs by construction. Cylinder plateaus high; bell ramps up;
+	// funnel ramps down. Check first-half vs second-half asymmetry.
+	X, y := CBF(300, CBFConfig{Seed: 3})
+	var bellAsym, funnelAsym float64
+	var bells, funnels int
+	for i, row := range X {
+		half := len(row) / 2
+		var a, b float64
+		for _, v := range row[:half] {
+			a += v
+		}
+		for _, v := range row[half:] {
+			b += v
+		}
+		switch y[i] {
+		case Bell:
+			bellAsym += b - a
+			bells++
+		case Funnel:
+			funnelAsym += b - a
+			funnels++
+		}
+	}
+	if bellAsym/float64(bells) <= 0 {
+		t.Fatal("bell series should weigh the second half")
+	}
+	if funnelAsym/float64(funnels) >= 0 {
+		t.Fatal("funnel series should weigh the first half")
+	}
+}
+
+func TestCBFStreamCycle(t *testing.T) {
+	s := NewCBFStream(CBFConfig{Seed: 4})
+	for i := 0; i < 9; i++ {
+		series, label := s.Next()
+		if label != i%3 {
+			t.Fatalf("stream label %d = %d", i, label)
+		}
+		if len(series) != CBFLength {
+			t.Fatalf("series length %d", len(series))
+		}
+	}
+}
+
+func TestUCRLike(t *testing.T) {
+	X, y := UCRLike(40, 64, 4, 5)
+	if len(X) != 40 {
+		t.Fatalf("rows = %d", len(X))
+	}
+	for i, row := range X {
+		if len(row) != 64 {
+			t.Fatalf("row %d length %d", i, len(row))
+		}
+		if y[i] != i%4 {
+			t.Fatalf("label mismatch at %d", i)
+		}
+	}
+}
+
+func TestUCILike(t *testing.T) {
+	X, y := UCILike(60, 8, 3, 6)
+	if len(X) != 60 || len(X[0]) != 8 {
+		t.Fatalf("shape %dx%d", len(X), len(X[0]))
+	}
+	// Blobs must be separated: within-class distance < between-class.
+	within := dist(X[0], X[3])  // both class 0
+	between := dist(X[0], X[1]) // class 0 vs 1
+	if within >= between {
+		t.Fatalf("UCI blobs not separated: within %g between %g", within, between)
+	}
+	_ = y
+}
+
+func dist(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+func TestShiftStreamPhases(t *testing.T) {
+	s := NewShiftStream(10, 128, 7)
+	distinct := func(series []float64) int {
+		set := map[float64]bool{}
+		for _, v := range series {
+			set[v] = true
+		}
+		return len(set)
+	}
+	var hi, lo int
+	for !s.Done() {
+		phase := s.Phase()
+		series, label := s.Next()
+		if phase == 0 {
+			hi += distinct(series)
+			if label < 0 {
+				t.Fatal("phase 0 should carry CBF labels")
+			}
+		} else {
+			lo += distinct(series)
+			if label != -1 {
+				t.Fatal("phase 1 label should be -1")
+			}
+		}
+	}
+	if hi/5 <= lo/5*4 {
+		t.Fatalf("high-entropy phase should have far more distinct values: hi=%d lo=%d", hi/5, lo/5)
+	}
+}
+
+func TestShiftStreamDone(t *testing.T) {
+	s := NewShiftStream(4, 32, 1)
+	for i := 0; i < 4; i++ {
+		if s.Done() {
+			t.Fatalf("done too early at %d", i)
+		}
+		s.Next()
+	}
+	if !s.Done() {
+		t.Fatal("stream should be exhausted")
+	}
+}

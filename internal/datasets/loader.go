@@ -1,0 +1,73 @@
+package datasets
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// LoadUCRTSV parses a dataset in the UCR time-series archive format: one
+// series per line, tab- (or comma-) separated, the class label in the
+// first column. The synthetic generators in this package stand in for the
+// archives during experiments (DESIGN.md §2); this loader lets users run
+// the real archives when they have them locally.
+//
+// Labels are remapped to contiguous 0-based integers in order of first
+// appearance (UCR labels are arbitrary integers, sometimes negative).
+func LoadUCRTSV(r io.Reader) (X [][]float64, y []int, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	labelIDs := map[string]int{}
+	width := -1
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		fields := splitTSV(text)
+		if len(fields) < 2 {
+			return nil, nil, fmt.Errorf("datasets: line %d: need a label and at least one value", line)
+		}
+		if width == -1 {
+			width = len(fields) - 1
+		} else if len(fields)-1 != width {
+			return nil, nil, fmt.Errorf("datasets: line %d: %d values, want %d", line, len(fields)-1, width)
+		}
+		labelKey := fields[0]
+		id, ok := labelIDs[labelKey]
+		if !ok {
+			id = len(labelIDs)
+			labelIDs[labelKey] = id
+		}
+		row := make([]float64, width)
+		for i, f := range fields[1:] {
+			v, perr := strconv.ParseFloat(f, 64)
+			if perr != nil {
+				return nil, nil, fmt.Errorf("datasets: line %d col %d: %v", line, i+2, perr)
+			}
+			row[i] = v
+		}
+		X = append(X, row)
+		y = append(y, id)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("datasets: %v", err)
+	}
+	if len(X) == 0 {
+		return nil, nil, fmt.Errorf("datasets: empty input")
+	}
+	return X, y, nil
+}
+
+// splitTSV splits on tabs, falling back to commas (some archive exports
+// use CSV).
+func splitTSV(line string) []string {
+	if strings.ContainsRune(line, '\t') {
+		return strings.Split(line, "\t")
+	}
+	return strings.Split(line, ",")
+}

@@ -1,0 +1,93 @@
+package datasets
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestLoadUCRTSV(t *testing.T) {
+	input := "1\t0.5\t0.6\t0.7\n" +
+		"-1\t1.5\t1.6\t1.7\n" +
+		"1\t2.5\t2.6\t2.7\n"
+	X, y, err := LoadUCRTSV(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(X) != 3 || len(X[0]) != 3 {
+		t.Fatalf("shape %dx%d", len(X), len(X[0]))
+	}
+	// Labels remap to first-appearance order: 1 -> 0, -1 -> 1.
+	want := []int{0, 1, 0}
+	for i := range want {
+		if y[i] != want[i] {
+			t.Fatalf("labels = %v, want %v", y, want)
+		}
+	}
+	if X[1][0] != 1.5 {
+		t.Fatalf("X[1][0] = %v", X[1][0])
+	}
+}
+
+func TestLoadUCRCSVFallback(t *testing.T) {
+	X, y, err := LoadUCRTSV(strings.NewReader("2,9.5,8.5\n3,7.5,6.5\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(X) != 2 || y[0] != 0 || y[1] != 1 {
+		t.Fatalf("X=%v y=%v", X, y)
+	}
+}
+
+func TestLoadUCRTSVSkipsBlankLines(t *testing.T) {
+	X, _, err := LoadUCRTSV(strings.NewReader("\n1\t2\t3\n\n\n1\t4\t5\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(X) != 2 {
+		t.Fatalf("rows = %d", len(X))
+	}
+}
+
+func TestLoadUCRTSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":         "",
+		"label only":    "1\n",
+		"ragged":        "1\t2\t3\n1\t2\n",
+		"non-numeric":   "1\tabc\n",
+		"missing label": "\t\n",
+	}
+	for name, input := range cases {
+		if _, _, err := LoadUCRTSV(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestLoadUCRTSVRoundTripWithGenerator(t *testing.T) {
+	// Serialize a generated dataset and load it back.
+	X, y := UCRLike(12, 8, 3, 4)
+	var sb strings.Builder
+	for i, row := range X {
+		sb.WriteString(strconv.Itoa(y[i]))
+		for _, v := range row {
+			sb.WriteByte('\t')
+			sb.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+		}
+		sb.WriteByte('\n')
+	}
+	gotX, gotY, err := LoadUCRTSV(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range X {
+		if gotY[i] != y[i] {
+			t.Fatalf("label %d: %d vs %d", i, gotY[i], y[i])
+		}
+		for j := range X[i] {
+			if gotX[i][j] != X[i][j] {
+				t.Fatalf("value [%d][%d]: %v vs %v", i, j, gotX[i][j], X[i][j])
+			}
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package datasets
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/timeseries"
+)
+
+// UCRLike generates a time-series classification dataset in the style of
+// the UCR archive: classes are sinusoids of distinct frequency and phase
+// with additive noise and random warping of amplitude, quantized at the
+// paper's 5-digit UCR precision.
+func UCRLike(n, length, classes int, seed int64) (X [][]float64, y []int) {
+	if length <= 0 {
+		length = 128
+	}
+	if classes <= 0 {
+		classes = 4
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	scale := math.Pow10(int(timeseries.PrecisionUCR))
+	X = make([][]float64, n)
+	y = make([]int, n)
+	for i := 0; i < n; i++ {
+		c := i % classes
+		freq := 1 + float64(c)*1.5
+		amp := 2 + rng.Float64()
+		phase := rng.Float64() * 2 * math.Pi
+		row := make([]float64, length)
+		for t := range row {
+			v := amp*math.Sin(2*math.Pi*freq*float64(t)/float64(length)+phase) + 0.3*rng.NormFloat64()
+			row[t] = math.Round(v*scale) / scale
+		}
+		X[i] = row
+		y[i] = c
+	}
+	return X, y
+}
+
+// UCILike generates a tabular classification dataset in the style of the
+// UCI repository: classes are Gaussian blobs in feature space, quantized at
+// the paper's 6-digit UCI precision.
+func UCILike(n, dim, classes int, seed int64) (X [][]float64, y []int) {
+	if dim <= 0 {
+		dim = 16
+	}
+	if classes <= 0 {
+		classes = 3
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	scale := math.Pow10(int(timeseries.PrecisionUCI))
+	// Random class centres spread over a hypercube.
+	centres := make([][]float64, classes)
+	for c := range centres {
+		centres[c] = make([]float64, dim)
+		for j := range centres[c] {
+			centres[c][j] = rng.Float64()*10 - 5
+		}
+	}
+	X = make([][]float64, n)
+	y = make([]int, n)
+	for i := 0; i < n; i++ {
+		c := i % classes
+		row := make([]float64, dim)
+		for j := range row {
+			v := centres[c][j] + 0.8*rng.NormFloat64()
+			row[j] = math.Round(v*scale) / scale
+		}
+		X[i] = row
+		y[i] = c
+	}
+	return X, y
+}
+
+// ShiftStream reproduces the Fig 15 workload: the first half of the stream
+// is high-entropy CBF data, the second half low-entropy data (a small set
+// of repeated plateau levels), so the optimal lossless codec changes
+// mid-stream.
+type ShiftStream struct {
+	cbf      *CBFStream
+	rng      *rand.Rand
+	length   int
+	total    int
+	produced int
+	level    float64
+}
+
+// NewShiftStream builds the two-phase stream; totalSeries is the number of
+// series after which the stream is exhausted (half per phase).
+func NewShiftStream(totalSeries, length int, seed int64) *ShiftStream {
+	if length <= 0 {
+		length = CBFLength
+	}
+	if seed == 0 {
+		seed = 1
+	}
+	return &ShiftStream{
+		cbf:    NewCBFStream(CBFConfig{Length: length, Seed: seed}),
+		rng:    rand.New(rand.NewSource(seed ^ 0x5bf0)),
+		length: length,
+		total:  totalSeries,
+		level:  10,
+	}
+}
+
+// Phase reports which phase the next series belongs to: 0 (high entropy)
+// or 1 (low entropy).
+func (s *ShiftStream) Phase() int {
+	if s.produced < s.total/2 {
+		return 0
+	}
+	return 1
+}
+
+// Done reports whether the stream is exhausted.
+func (s *ShiftStream) Done() bool { return s.produced >= s.total }
+
+// Next returns the next series; label is the CBF class in phase 0 and -1
+// in phase 1.
+func (s *ShiftStream) Next() (series []float64, label int) {
+	phase := s.Phase()
+	s.produced++
+	if phase == 0 {
+		return s.cbf.Next()
+	}
+	// Low-entropy phase: plateaus drawn from 8 quantized levels with rare
+	// steps, highly compressible by byte compressors.
+	out := make([]float64, s.length)
+	for i := range out {
+		if s.rng.Intn(48) == 0 {
+			s.level = float64(s.rng.Intn(8)) * 1.25
+		}
+		out[i] = s.level
+	}
+	return out, -1
+}

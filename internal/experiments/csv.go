@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+)
+
+// CSV emitters so the figure series can be plotted directly. Every writer
+// emits a header row; NaN cells (infeasible method/ratio combinations)
+// render as empty strings, the convention plotting tools treat as gaps.
+
+// WriteSweepCSV renders an online sweep: one row per target ratio, one
+// column per method.
+func WriteSweepCSV(w io.Writer, res SweepResult) error {
+	cw := csv.NewWriter(w)
+	methods := make([]string, 0, len(res.Series))
+	for name := range res.Series {
+		methods = append(methods, name)
+	}
+	sort.Strings(methods)
+	header := append([]string{"target_ratio"}, methods...)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for i, ratio := range res.Ratios {
+		row := make([]string, 0, len(header))
+		row = append(row, formatF(ratio))
+		for _, m := range methods {
+			v := res.Series[m][i]
+			if math.IsNaN(v) {
+				row = append(row, "")
+			} else {
+				row = append(row, formatF(v))
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteOfflineCSV renders offline runs: long format with one row per
+// (method, snapshot).
+func WriteOfflineCSV(w io.Writer, runs []OfflineRun) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"method", "seconds", "space_utilization", "accuracy_loss", "failed"}); err != nil {
+		return err
+	}
+	sorted := make([]OfflineRun, len(runs))
+	copy(sorted, runs)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a].Method < sorted[b].Method })
+	for _, r := range sorted {
+		for _, s := range r.Snapshots {
+			row := []string{
+				r.Method,
+				formatF(s.Seconds),
+				formatF(s.SpaceUtilization),
+				formatF(s.MeanAccuracyLoss),
+				strconv.FormatBool(false),
+			}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+		if r.Failed {
+			row := []string{r.Method, formatF(r.FailedAtSec), "", "", "true"}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteThroughputCSV renders Fig 2 rows.
+func WriteThroughputCSV(w io.Writer, rows []ThroughputRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"codec", "mb_per_sec", "pts_per_sec", "qualified"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write([]string{r.Codec, formatF(r.MBPerSec), formatF(r.PtsPerSec), strconv.FormatBool(r.Qualified)}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteEgressCSV renders Fig 3 rows.
+func WriteEgressCSV(w io.Writer, rows []EgressRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"codec", "egress_mbps", "fits_3g", "fits_4g"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write([]string{r.Codec, formatF(r.EgressMBps), strconv.FormatBool(r.Fits3G), strconv.FormatBool(r.Fits4G)}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteStaticSweepCSV renders Fig 5/6 panels: long format.
+func WriteStaticSweepCSV(w io.Writer, res Fig5Result) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"codec", "target_ratio", "achieved_ratio", "accuracy"}); err != nil {
+		return err
+	}
+	names := make([]string, 0, len(res))
+	for name := range res {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		for _, p := range res[name] {
+			row := []string{name, formatF(p.TargetRatio), formatF(p.AchievedRatio), formatF(p.Accuracy)}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func formatF(v float64) string {
+	return fmt.Sprintf("%g", v)
+}

@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"math"
+	"repro/internal/core"
+	"strings"
+	"testing"
+)
+
+func TestWriteSweepCSV(t *testing.T) {
+	res := SweepResult{
+		Ratios: []float64{0.5, 0.1},
+		Series: map[string][]float64{
+			"mab": {0.1, 0.2},
+			"paa": {0.3, math.NaN()},
+		},
+	}
+	var buf strings.Builder
+	if err := WriteSweepCSV(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(strings.NewReader(buf.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0][0] != "target_ratio" || rows[0][1] != "mab" || rows[0][2] != "paa" {
+		t.Fatalf("header = %v", rows[0])
+	}
+	if rows[2][2] != "" {
+		t.Fatalf("NaN cell should be empty, got %q", rows[2][2])
+	}
+	if rows[1][1] != "0.1" {
+		t.Fatalf("value cell = %q", rows[1][1])
+	}
+}
+
+func TestWriteOfflineCSV(t *testing.T) {
+	runs := []OfflineRun{
+		{Method: "b", Snapshots: []core.Snapshot{{Seconds: 1, SpaceUtilization: 0.5, MeanAccuracyLoss: 0.1}}},
+		{Method: "a", Failed: true, FailedAtSec: 2.5},
+	}
+	var buf strings.Builder
+	if err := WriteOfflineCSV(&buf, runs); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(strings.NewReader(buf.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// header + a's failure row + b's snapshot row.
+	if len(rows) != 3 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if rows[1][0] != "a" || rows[1][4] != "true" {
+		t.Fatalf("failure row = %v", rows[1])
+	}
+	if rows[2][0] != "b" || rows[2][4] != "false" {
+		t.Fatalf("snapshot row = %v", rows[2])
+	}
+}
+
+func TestWriteStaticSweepCSV(t *testing.T) {
+	res := Fig5Result{"paa": {{TargetRatio: 0.5, AchievedRatio: 0.4, Accuracy: 0.9}}}
+	var buf strings.Builder
+	if err := WriteStaticSweepCSV(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "paa,0.5,0.4,0.9") {
+		t.Fatalf("csv = %q", buf.String())
+	}
+}
+
+func TestWriteFig23CSV(t *testing.T) {
+	var buf strings.Builder
+	if err := WriteThroughputCSV(&buf, []ThroughputRow{{Codec: "x", MBPerSec: 1, PtsPerSec: 2, Qualified: true}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "x,1,2,true") {
+		t.Fatalf("csv = %q", buf.String())
+	}
+	buf.Reset()
+	if err := WriteEgressCSV(&buf, []EgressRow{{Codec: "y", EgressMBps: 3, Fits3G: false, Fits4G: true}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "y,3,false,true") {
+		t.Fatalf("csv = %q", buf.String())
+	}
+}

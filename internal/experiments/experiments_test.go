@@ -1,0 +1,213 @@
+package experiments
+
+import (
+	"io"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestFig2Rows(t *testing.T) {
+	var buf strings.Builder
+	rows := Fig2CompressionThroughput(&buf, 40)
+	if len(rows) != 17 {
+		t.Fatalf("rows = %d, want 17 codecs", len(rows))
+	}
+	byName := map[string]ThroughputRow{}
+	for _, r := range rows {
+		if r.PtsPerSec <= 0 {
+			t.Fatalf("%s: nonpositive throughput", r.Codec)
+		}
+		byName[r.Codec] = r
+	}
+	// Snappy is designed for speed: it must beat gzip (paper Fig 2 shows
+	// gzip as the slow outlier).
+	if byName["snappy"].PtsPerSec <= byName["gzip"].PtsPerSec {
+		t.Fatalf("snappy (%f) should outpace gzip (%f)",
+			byName["snappy"].PtsPerSec, byName["gzip"].PtsPerSec)
+	}
+	if !strings.Contains(buf.String(), "Fig 2") {
+		t.Fatal("missing header in output")
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	rows := Fig3EgressRate(io.Discard, 40)
+	byName := map[string]EgressRow{}
+	for _, r := range rows {
+		byName[r.Codec] = r
+	}
+	// The paper's Fig 3 story: raw doesn't fit 4G; several lossless codecs
+	// fit 4G; NO lossless codec fits 3G; tuned lossy codecs fit 3G.
+	if byName["uncompressed"].Fits4G {
+		t.Fatal("raw 32 MB/s should not fit 4G")
+	}
+	if !byName["sprintz"].Fits4G || !byName["buff"].Fits4G {
+		t.Fatal("sprintz/buff should fit 4G on CBF")
+	}
+	for _, name := range []string{"gzip", "snappy", "gorilla", "chimp", "sprintz", "buff", "dict", "zlib-9"} {
+		if byName[name].Fits3G {
+			t.Fatalf("lossless %s unexpectedly fits 3G", name)
+		}
+	}
+	if !byName["paa*"].Fits3G || !byName["fft*"].Fits3G {
+		t.Fatal("tuned lossy codecs should fit 3G")
+	}
+}
+
+func TestFig5AccuracyDegrades(t *testing.T) {
+	res := Fig5DTreeUCI(io.Discard, 120)
+	for name, pts := range res {
+		if len(pts) < 3 {
+			t.Fatalf("%s: too few feasible points (%d)", name, len(pts))
+		}
+		if pts[0].Accuracy < 0.95 {
+			t.Fatalf("%s: accuracy at ratio 1 = %.3f, want ~1", name, pts[0].Accuracy)
+		}
+		if last := pts[len(pts)-1]; last.Accuracy > pts[0].Accuracy {
+			t.Fatalf("%s: accuracy should not improve at the tightest ratio", name)
+		}
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	res := Fig6RForestUCR(io.Discard, 80)
+	paa := res["paa"]
+	if len(paa) == 0 {
+		t.Fatal("no PAA points")
+	}
+	// PAA must remain feasible down to ratio 0.03 (paper Fig 6b), while
+	// BUFF-lossy's sweep stops near 0.11.
+	if paa[len(paa)-1].TargetRatio > 0.05 {
+		t.Fatalf("PAA sweep should reach 0.03, stopped at %v", paa[len(paa)-1].TargetRatio)
+	}
+}
+
+func TestOnlineSweepFig8Shape(t *testing.T) {
+	res := Fig8SumQuery(io.Discard, 40)
+	mab := res.Series["mab"]
+	paa := res.Series["paa"]
+	rrd := res.Series["rrdsample"]
+	for i, ratio := range res.Ratios {
+		if ratio > 0.5 {
+			continue // lossless handles loose ratios
+		}
+		if math.IsNaN(mab[i]) {
+			t.Fatalf("mab infeasible at ratio %v", ratio)
+		}
+		// PAA preserves sums nearly exactly; sampling does not.
+		if !math.IsNaN(paa[i]) && !math.IsNaN(rrd[i]) && paa[i] > rrd[i]+1e-9 && rrd[i] > 0.01 {
+			t.Fatalf("at ratio %v PAA loss %v should undercut RRD loss %v", ratio, paa[i], rrd[i])
+		}
+	}
+	// BUFF-lossy must be infeasible below its floor (paper: ~0.125 on CBF).
+	bl := res.Series["bufflossy"]
+	last := len(res.Ratios) - 1
+	if res.Ratios[last] <= 0.05 && !math.IsNaN(bl[last]) {
+		t.Fatalf("bufflossy should fail at ratio %v", res.Ratios[last])
+	}
+	// Lossless representatives must be infeasible at tight ratios.
+	if !math.IsNaN(res.Series["sprintz"][last]) {
+		t.Fatal("sprintz should be infeasible at the tightest ratio")
+	}
+	// CodecDB mirrors lossless feasibility.
+	if !math.IsNaN(res.Series["codecdb"][last]) {
+		t.Fatal("codecdb should fail at the tightest ratio")
+	}
+}
+
+func TestOnlineSweepMABTracksBest(t *testing.T) {
+	res := Fig8SumQuery(io.Discard, 40)
+	// At every feasible tight ratio, MAB's loss should be within noise of
+	// the best fixed lossy codec (exploration costs allowed: 3× + 0.02).
+	for i, ratio := range res.Ratios {
+		if ratio > 0.3 {
+			continue
+		}
+		best := math.Inf(1)
+		for _, name := range []string{"bufflossy", "paa", "pla", "fft", "lttb", "rrdsample"} {
+			if v := res.Series[name][i]; !math.IsNaN(v) && v < best {
+				best = v
+			}
+		}
+		mab := res.Series["mab"][i]
+		if math.IsNaN(mab) {
+			t.Fatalf("mab infeasible at %v", ratio)
+		}
+		if mab > best*3+0.06 {
+			t.Fatalf("ratio %v: mab loss %v vs best fixed %v", ratio, mab, best)
+		}
+	}
+}
+
+func TestFig12OfflineShape(t *testing.T) {
+	runs := Fig12Offline(io.Discard, OfflineConfig{
+		StorageBytes: 36 << 10, Segments: 150, SnapshotEvery: 25, Seed: 12,
+	})
+	byName := map[string]OfflineRun{}
+	for _, r := range runs {
+		byName[r.Method] = r
+	}
+	mab, ok := byName["mab_mab"]
+	if !ok {
+		t.Fatal("missing mab_mab run")
+	}
+	if mab.Failed {
+		t.Fatal("mab_mab must not blow the budget")
+	}
+	// CodecDB must fail: lossless-only cannot fit 150 segments into 48 KiB.
+	if cdb := byName["codecdb"]; !cdb.Failed {
+		t.Fatal("codecdb should fail (no lossy path)")
+	}
+	// mab_mab must not be the worst performer among non-failed runs.
+	worst, count := "", -math.MaxFloat64
+	for name, r := range byName {
+		if r.Failed || name == "codecdb" {
+			continue
+		}
+		if r.FinalLoss > count {
+			worst, count = name, r.FinalLoss
+		}
+	}
+	if worst == "mab_mab" && count > 0.05 {
+		t.Fatalf("mab_mab is the worst offline method (loss %v)", count)
+	}
+}
+
+func TestFig15Shift(t *testing.T) {
+	base := Fig15aBaselines(io.Discard, 240, 15)
+	if len(base) < 8 {
+		t.Fatalf("only %d baseline runs", len(base))
+	}
+	runs := Fig15bMAB(io.Discard, 240, 15, []float64{0.1})
+	r := runs[0]
+	if r.Phase1Top == "" || r.Phase2Top == "" {
+		t.Fatal("missing phase winners")
+	}
+	// The bandit's total size should land within 1.5× of the best fixed
+	// candidate (it pays exploration but adapts across the shift).
+	best := base[0].TotalBytes
+	if r.TotalBytes > best+best/2 {
+		t.Fatalf("mab total %d vs best fixed %d", r.TotalBytes, best)
+	}
+	// The shift must change the preferred codec.
+	if r.Phase1Top == r.Phase2Top {
+		t.Logf("note: same codec won both phases (%s) — acceptable but unusual", r.Phase1Top)
+	}
+}
+
+func TestScalabilityGrows(t *testing.T) {
+	rows := Scalability(io.Discard, []int{1, 4}, 40)
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[1].PtsPerSec < rows[0].PtsPerSec {
+		t.Logf("note: 4 workers (%f) did not beat 1 (%f) on this host — CI noise tolerated",
+			rows[1].PtsPerSec, rows[0].PtsPerSec)
+	}
+	for _, r := range rows {
+		if r.PtsPerSec <= 0 {
+			t.Fatal("nonpositive throughput")
+		}
+	}
+}

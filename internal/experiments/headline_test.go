@@ -1,0 +1,28 @@
+package experiments
+
+import (
+	"io"
+	"testing"
+)
+
+func TestHeadlineClaimsReproduce(t *testing.T) {
+	h := HeadlineClaims(io.Discard, 120)
+	// Claim precondition: at ratio 0.1 no lossless method is viable.
+	if h.LosslessViableAt01 {
+		t.Fatal("lossless should be infeasible at ratio 0.1")
+	}
+	// Claim 1: AdaEdge beats the worst lossy baseline by ~10-20 accuracy
+	// points online at ratio 0.1. Allow a generous band: the shape is a
+	// double-digit gain.
+	if h.OnlineGainVsWorst < 0.05 {
+		t.Fatalf("online gain vs worst = %.3f, want a clear gain", h.OnlineGainVsWorst)
+	}
+	// AdaEdge must also never be clearly worse than the median baseline.
+	if h.OnlineGainVsMedian < -0.05 {
+		t.Fatalf("online gain vs median = %.3f (worse than median)", h.OnlineGainVsMedian)
+	}
+	// Claim 2: double-digit accuracy gain offline under a shared budget.
+	if h.OfflineGainVsWorst < 0.10 {
+		t.Fatalf("offline gain = %.3f, want >= 0.10", h.OfflineGainVsWorst)
+	}
+}

@@ -1,0 +1,220 @@
+package ml
+
+import (
+	"math"
+	"sort"
+)
+
+// DecisionTree is a CART classification tree with Gini-impurity splits.
+// Tree models are the paper's canary workload: they branch on exact
+// threshold comparisons, so even small lossy perturbations flip predictions
+// (paper Fig 5).
+type DecisionTree struct {
+	// Nodes is the flattened tree; Nodes[0] is the root. Exported for
+	// serialization.
+	Nodes []TreeNode
+	// Classes is the number of distinct labels seen at fit time.
+	Classes int
+
+	cfg TreeConfig
+}
+
+// TreeNode is one node of a flattened decision tree.
+type TreeNode struct {
+	// Feature is the split feature index, or -1 for a leaf.
+	Feature int
+	// Threshold routes x[Feature] <= Threshold to Left, else Right.
+	Threshold float64
+	// Left and Right are child indexes into Nodes.
+	Left, Right int
+	// Label is the majority class (valid for leaves).
+	Label int
+}
+
+// TreeConfig bounds tree growth.
+type TreeConfig struct {
+	// MaxDepth limits tree depth; 0 selects a default of 12.
+	MaxDepth int
+	// MinLeaf is the minimum samples per leaf; 0 selects 2.
+	MinLeaf int
+	// MaxFeatures restricts the number of features examined per split
+	// (used by random forests); 0 examines all features.
+	MaxFeatures int
+	// FeatureSeed drives the per-split feature subsample when MaxFeatures
+	// is set.
+	FeatureSeed uint64
+}
+
+func (c TreeConfig) withDefaults() TreeConfig {
+	if c.MaxDepth == 0 {
+		c.MaxDepth = 12
+	}
+	if c.MinLeaf == 0 {
+		c.MinLeaf = 2
+	}
+	return c
+}
+
+// FitTree trains a CART tree.
+func FitTree(X [][]float64, y []int, cfg TreeConfig) (*DecisionTree, error) {
+	if err := validate(X, y); err != nil {
+		return nil, err
+	}
+	t := &DecisionTree{Classes: maxLabel(y) + 1, cfg: cfg.withDefaults()}
+	idx := make([]int, len(X))
+	for i := range idx {
+		idx[i] = i
+	}
+	t.grow(X, y, idx, 0)
+	return t, nil
+}
+
+// grow recursively builds the subtree over idx and returns its node index.
+func (t *DecisionTree) grow(X [][]float64, y []int, idx []int, depth int) int {
+	node := TreeNode{Feature: -1, Label: mode(y, idx, t.Classes-1)}
+	self := len(t.Nodes)
+	t.Nodes = append(t.Nodes, node)
+	if depth >= t.cfg.MaxDepth || len(idx) < 2*t.cfg.MinLeaf || almostPure(y, idx) {
+		return self
+	}
+	feat, thr, ok := t.bestSplit(X, y, idx)
+	if !ok {
+		return self
+	}
+	var left, right []int
+	for _, i := range idx {
+		if X[i][feat] <= thr {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) < t.cfg.MinLeaf || len(right) < t.cfg.MinLeaf {
+		return self
+	}
+	l := t.grow(X, y, left, depth+1)
+	r := t.grow(X, y, right, depth+1)
+	t.Nodes[self].Feature = feat
+	t.Nodes[self].Threshold = thr
+	t.Nodes[self].Left = l
+	t.Nodes[self].Right = r
+	return self
+}
+
+// bestSplit scans candidate features for the split minimizing weighted Gini
+// impurity.
+func (t *DecisionTree) bestSplit(X [][]float64, y []int, idx []int) (feat int, thr float64, ok bool) {
+	dim := len(X[0])
+	features := make([]int, dim)
+	for i := range features {
+		features[i] = i
+	}
+	if t.cfg.MaxFeatures > 0 && t.cfg.MaxFeatures < dim {
+		// Deterministic xorshift shuffle keyed by the node's sample set.
+		state := t.cfg.FeatureSeed ^ uint64(len(idx))*0x9e3779b97f4a7c15
+		if state == 0 {
+			state = 1
+		}
+		for i := dim - 1; i > 0; i-- {
+			state ^= state << 13
+			state ^= state >> 7
+			state ^= state << 17
+			j := int(state % uint64(i+1))
+			features[i], features[j] = features[j], features[i]
+		}
+		features = features[:t.cfg.MaxFeatures]
+	}
+
+	parentImp := gini(y, idx, t.Classes-1)
+	bestGain := 1e-9
+	type fv struct {
+		v float64
+		y int
+	}
+	vals := make([]fv, len(idx))
+	for _, f := range features {
+		for k, i := range idx {
+			vals[k] = fv{v: X[i][f], y: y[i]}
+		}
+		sort.Slice(vals, func(a, b int) bool { return vals[a].v < vals[b].v })
+		leftCounts := make([]int, t.Classes)
+		rightCounts := make([]int, t.Classes)
+		for _, e := range vals {
+			rightCounts[e.y]++
+		}
+		nl, nr := 0, len(vals)
+		for k := 0; k < len(vals)-1; k++ {
+			leftCounts[vals[k].y]++
+			rightCounts[vals[k].y]--
+			nl++
+			nr--
+			if vals[k].v == vals[k+1].v {
+				continue
+			}
+			gl := giniFromCounts(leftCounts, nl)
+			gr := giniFromCounts(rightCounts, nr)
+			n := float64(len(vals))
+			gain := parentImp - (float64(nl)/n)*gl - (float64(nr)/n)*gr
+			if gain > bestGain {
+				bestGain = gain
+				feat = f
+				thr = (vals[k].v + vals[k+1].v) / 2
+				ok = true
+			}
+		}
+	}
+	return feat, thr, ok
+}
+
+func giniFromCounts(counts []int, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	imp := 1.0
+	nf := float64(n)
+	for _, c := range counts {
+		p := float64(c) / nf
+		imp -= p * p
+	}
+	return imp
+}
+
+// Predict implements Classifier.
+func (t *DecisionTree) Predict(x []float64) int {
+	node := 0
+	for {
+		n := t.Nodes[node]
+		if n.Feature < 0 {
+			return n.Label
+		}
+		v := math.Inf(1)
+		if n.Feature < len(x) {
+			v = x[n.Feature]
+		}
+		if v <= n.Threshold {
+			node = n.Left
+		} else {
+			node = n.Right
+		}
+	}
+}
+
+// Depth returns the maximum depth of the tree (root = 0).
+func (t *DecisionTree) Depth() int {
+	var walk func(i, d int) int
+	walk = func(i, d int) int {
+		n := t.Nodes[i]
+		if n.Feature < 0 {
+			return d
+		}
+		l, r := walk(n.Left, d+1), walk(n.Right, d+1)
+		if l > r {
+			return l
+		}
+		return r
+	}
+	if len(t.Nodes) == 0 {
+		return 0
+	}
+	return walk(0, 0)
+}

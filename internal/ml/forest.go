@@ -1,0 +1,89 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+)
+
+// RandomForest is a bagged ensemble of CART trees with per-split feature
+// subsampling. Majority voting softens — but does not remove — the
+// threshold sensitivity that makes tree models react to lossy compression
+// (paper Fig 6).
+type RandomForest struct {
+	// Trees are the fitted ensemble members. Exported for serialization.
+	Trees []*DecisionTree
+	// Classes is the number of distinct labels.
+	Classes int
+}
+
+// ForestConfig parameterizes forest training.
+type ForestConfig struct {
+	// Trees is the ensemble size; 0 selects 20.
+	Trees int
+	// Tree bounds each member's growth. MaxFeatures 0 selects sqrt(dim).
+	Tree TreeConfig
+	// Seed makes bootstrap sampling deterministic.
+	Seed int64
+}
+
+// FitForest trains a random forest.
+func FitForest(X [][]float64, y []int, cfg ForestConfig) (*RandomForest, error) {
+	if err := validate(X, y); err != nil {
+		return nil, err
+	}
+	if cfg.Trees == 0 {
+		cfg.Trees = 20
+	}
+	if cfg.Tree.MaxFeatures == 0 {
+		cfg.Tree.MaxFeatures = int(math.Sqrt(float64(len(X[0]))))
+		if cfg.Tree.MaxFeatures < 1 {
+			cfg.Tree.MaxFeatures = 1
+		}
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	f := &RandomForest{Classes: maxLabel(y) + 1}
+	n := len(X)
+	for t := 0; t < cfg.Trees; t++ {
+		// Bootstrap sample with replacement.
+		bx := make([][]float64, n)
+		by := make([]int, n)
+		for i := 0; i < n; i++ {
+			j := rng.Intn(n)
+			bx[i] = X[j]
+			by[i] = y[j]
+		}
+		tc := cfg.Tree
+		tc.FeatureSeed = rng.Uint64()
+		tree, err := FitTree(bx, by, tc)
+		if err != nil {
+			return nil, err
+		}
+		// The bootstrap may miss high labels; keep the global class count.
+		tree.Classes = f.Classes
+		f.Trees = append(f.Trees, tree)
+	}
+	return f, nil
+}
+
+// Predict implements Classifier by majority vote (ties break to the lower
+// label for determinism).
+func (f *RandomForest) Predict(x []float64) int {
+	votes := make([]int, f.Classes)
+	for _, t := range f.Trees {
+		p := t.Predict(x)
+		if p >= 0 && p < len(votes) {
+			votes[p]++
+		}
+	}
+	best := 0
+	for c, v := range votes {
+		if v > votes[best] {
+			best = c
+		}
+	}
+	return best
+}

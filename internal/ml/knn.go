@@ -1,0 +1,95 @@
+package ml
+
+import "sort"
+
+// KNN is a k-nearest-neighbour classifier over Euclidean distance. Unlike
+// tree models it degrades smoothly under lossy compression: predictions
+// only change when perturbations move a point across a class boundary
+// (paper Fig 7c).
+type KNN struct {
+	// K is the neighbourhood size.
+	K int
+	// X and Y are the memorized training rows and labels. Exported for
+	// serialization.
+	X [][]float64
+	Y []int
+	// Classes is the number of distinct labels.
+	Classes int
+}
+
+// FitKNN memorizes the training set. k of 0 selects 5.
+func FitKNN(X [][]float64, y []int, k int) (*KNN, error) {
+	if err := validate(X, y); err != nil {
+		return nil, err
+	}
+	if k <= 0 {
+		k = 5
+	}
+	if k > len(X) {
+		k = len(X)
+	}
+	cx := make([][]float64, len(X))
+	for i, row := range X {
+		cx[i] = append([]float64(nil), row...)
+	}
+	return &KNN{K: k, X: cx, Y: append([]int(nil), y...), Classes: maxLabel(y) + 1}, nil
+}
+
+// Predict implements Classifier.
+func (m *KNN) Predict(x []float64) int {
+	type nd struct {
+		d float64
+		y int
+		i int
+	}
+	nearest := make([]nd, 0, m.K+1)
+	worst := -1.0
+	for i, row := range m.X {
+		d := euclideanSq(x, row)
+		if len(nearest) < m.K {
+			nearest = append(nearest, nd{d, m.Y[i], i})
+			if d > worst {
+				worst = d
+			}
+			continue
+		}
+		if d >= worst {
+			continue
+		}
+		// Replace the current farthest.
+		fi, fd := 0, -1.0
+		for j, e := range nearest {
+			if e.d > fd {
+				fi, fd = j, e.d
+			}
+		}
+		nearest[fi] = nd{d, m.Y[i], i}
+		worst = -1
+		for _, e := range nearest {
+			if e.d > worst {
+				worst = e.d
+			}
+		}
+	}
+	// Deterministic vote: sort by (distance, index) then majority with
+	// low-label tie-break.
+	sort.Slice(nearest, func(a, b int) bool {
+		if nearest[a].d != nearest[b].d {
+			return nearest[a].d < nearest[b].d
+		}
+		return nearest[a].i < nearest[b].i
+	})
+	votes := make([]int, m.Classes)
+	for _, e := range nearest {
+		if e.y >= 0 && e.y < len(votes) {
+			votes[e.y]++
+		}
+	}
+	best := 0
+	for c, v := range votes {
+		if v > votes[best] {
+			best = c
+		}
+	}
+	return best
+}

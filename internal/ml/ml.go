@@ -1,0 +1,140 @@
+// Package ml provides the machine-learning substrate for AdaEdge's
+// accuracy-targeted compression selection (paper §IV-D1): CART decision
+// trees, random forests, k-nearest-neighbour classification and KMeans
+// clustering, plus model (de)serialization. Models are trained once on raw
+// data and then treated as frozen ground truth: the metric of interest is
+// prediction agreement between raw and lossy-decompressed inputs, not
+// absolute label accuracy.
+package ml
+
+import "errors"
+
+// Classifier assigns a discrete label (class or cluster id) to a feature
+// vector. All models in this package implement it.
+type Classifier interface {
+	Predict(x []float64) int
+}
+
+// ErrBadTrainingData is returned when a training set is empty or ragged.
+var ErrBadTrainingData = errors.New("ml: empty or inconsistent training data")
+
+// validate checks a feature matrix and label vector for consistency.
+func validate(X [][]float64, y []int) error {
+	if len(X) == 0 || len(X) != len(y) {
+		return ErrBadTrainingData
+	}
+	dim := len(X[0])
+	if dim == 0 {
+		return ErrBadTrainingData
+	}
+	for _, row := range X {
+		if len(row) != dim {
+			return ErrBadTrainingData
+		}
+	}
+	return nil
+}
+
+// MatchAccuracy is the paper's ACC_ml metric: the fraction of rows where
+// the model's prediction on the lossy rows matches its prediction on the
+// corresponding raw rows (raw predictions are the ground truth).
+func MatchAccuracy(m Classifier, raw, lossy [][]float64) float64 {
+	if len(raw) == 0 || len(raw) != len(lossy) {
+		return 0
+	}
+	match := 0
+	for i := range raw {
+		if m.Predict(raw[i]) == m.Predict(lossy[i]) {
+			match++
+		}
+	}
+	return float64(match) / float64(len(raw))
+}
+
+// LabelAccuracy is plain classification accuracy against true labels; used
+// by tests to sanity-check that the models actually learn.
+func LabelAccuracy(m Classifier, X [][]float64, y []int) float64 {
+	if len(X) == 0 {
+		return 0
+	}
+	ok := 0
+	for i := range X {
+		if m.Predict(X[i]) == y[i] {
+			ok++
+		}
+	}
+	return float64(ok) / float64(len(X))
+}
+
+// euclidean returns the squared Euclidean distance between vectors of equal
+// length (extra dimensions in the longer vector are ignored).
+func euclideanSq(a, b []float64) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	var s float64
+	for i := 0; i < n; i++ {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// maxLabel returns the largest label in y.
+func maxLabel(y []int) int {
+	m := 0
+	for _, v := range y {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// mode returns the most frequent label among the rows indexed by idx.
+func mode(y []int, idx []int, classes int) int {
+	counts := make([]int, classes+1)
+	for _, i := range idx {
+		counts[y[i]]++
+	}
+	best := 0
+	for c, n := range counts {
+		if n > counts[best] {
+			best = c
+		}
+	}
+	return best
+}
+
+// gini computes the Gini impurity of the labels indexed by idx.
+func gini(y []int, idx []int, classes int) float64 {
+	if len(idx) == 0 {
+		return 0
+	}
+	counts := make([]int, classes+1)
+	for _, i := range idx {
+		counts[y[i]]++
+	}
+	imp := 1.0
+	n := float64(len(idx))
+	for _, c := range counts {
+		p := float64(c) / n
+		imp -= p * p
+	}
+	return imp
+}
+
+// almostPure reports whether the indexed labels are (nearly) a single class.
+func almostPure(y []int, idx []int) bool {
+	if len(idx) == 0 {
+		return true
+	}
+	first := y[idx[0]]
+	for _, i := range idx {
+		if y[i] != first {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,88 @@
+package ml
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// This file is the model (de)serialization module from paper §IV-D1:
+// "AdaEdge incorporates a specialized module for serialization and
+// deserialization to manage instances of machine learning models." Models
+// are exchanged as self-describing binary blobs so a pre-trained model can
+// be shipped to the edge device and loaded for accuracy evaluation.
+
+// modelEnvelope wraps a model with its kind tag for gob round-tripping.
+type modelEnvelope struct {
+	Kind string
+	Tree *DecisionTree
+	For  *RandomForest
+	Knn  *KNN
+	Km   *KMeans
+}
+
+// Save serializes a model to w. Supported types: *DecisionTree,
+// *RandomForest, *KNN, *KMeans.
+func Save(w io.Writer, m Classifier) error {
+	env := modelEnvelope{}
+	switch v := m.(type) {
+	case *DecisionTree:
+		env.Kind, env.Tree = "dtree", v
+	case *RandomForest:
+		env.Kind, env.For = "rforest", v
+	case *KNN:
+		env.Kind, env.Knn = "knn", v
+	case *KMeans:
+		env.Kind, env.Km = "kmeans", v
+	default:
+		return fmt.Errorf("ml: unsupported model type %T", m)
+	}
+	return gob.NewEncoder(w).Encode(env)
+}
+
+// Load deserializes a model previously written by Save.
+func Load(r io.Reader) (Classifier, error) {
+	var env modelEnvelope
+	if err := gob.NewDecoder(r).Decode(&env); err != nil {
+		return nil, fmt.Errorf("ml: decode model: %w", err)
+	}
+	switch env.Kind {
+	case "dtree":
+		if env.Tree == nil {
+			return nil, fmt.Errorf("ml: envelope kind %q missing payload", env.Kind)
+		}
+		return env.Tree, nil
+	case "rforest":
+		if env.For == nil {
+			return nil, fmt.Errorf("ml: envelope kind %q missing payload", env.Kind)
+		}
+		return env.For, nil
+	case "knn":
+		if env.Knn == nil {
+			return nil, fmt.Errorf("ml: envelope kind %q missing payload", env.Kind)
+		}
+		return env.Knn, nil
+	case "kmeans":
+		if env.Km == nil {
+			return nil, fmt.Errorf("ml: envelope kind %q missing payload", env.Kind)
+		}
+		return env.Km, nil
+	default:
+		return nil, fmt.Errorf("ml: unknown model kind %q", env.Kind)
+	}
+}
+
+// Marshal serializes a model to a byte slice.
+func Marshal(m Classifier) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := Save(&buf, m); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Unmarshal deserializes a model from a byte slice.
+func Unmarshal(data []byte) (Classifier, error) {
+	return Load(bytes.NewReader(data))
+}

@@ -1,0 +1,114 @@
+// Package query implements the aggregation workload AdaEdge optimizes for
+// (paper §IV-D2): Min/Max/Sum/Avg operators over raw or decompressed
+// segments and the relative-loss accuracy metric Acc_agg used for
+// approximate query processing evaluation.
+package query
+
+import (
+	"errors"
+	"math"
+)
+
+// Agg identifies an aggregation operator.
+type Agg int
+
+// Supported aggregation operators.
+const (
+	Sum Agg = iota
+	Avg
+	Min
+	Max
+)
+
+// String implements fmt.Stringer.
+func (a Agg) String() string {
+	switch a {
+	case Sum:
+		return "sum"
+	case Avg:
+		return "avg"
+	case Min:
+		return "min"
+	case Max:
+		return "max"
+	default:
+		return "unknown"
+	}
+}
+
+// ErrEmpty is returned when aggregating zero values.
+var ErrEmpty = errors.New("query: empty input")
+
+// Apply evaluates the operator over values.
+func Apply(a Agg, values []float64) (float64, error) {
+	if len(values) == 0 {
+		return 0, ErrEmpty
+	}
+	switch a {
+	case Sum:
+		var s float64
+		for _, v := range values {
+			s += v
+		}
+		return s, nil
+	case Avg:
+		var s float64
+		for _, v := range values {
+			s += v
+		}
+		return s / float64(len(values)), nil
+	case Min:
+		m := math.Inf(1)
+		for _, v := range values {
+			if v < m {
+				m = v
+			}
+		}
+		return m, nil
+	case Max:
+		m := math.Inf(-1)
+		for _, v := range values {
+			if v > m {
+				m = v
+			}
+		}
+		return m, nil
+	default:
+		return 0, errors.New("query: unknown aggregation")
+	}
+}
+
+// Accuracy is the paper's Acc_agg = 1 - |Vtrue - Vlossy| / |Vtrue|. When
+// the true value is zero the metric degenerates; we follow the standard
+// approximate-query convention of returning 1 on exact match and 0
+// otherwise.
+func Accuracy(trueVal, lossyVal float64) float64 {
+	if trueVal == 0 {
+		if lossyVal == 0 {
+			return 1
+		}
+		return 0
+	}
+	acc := 1 - math.Abs(trueVal-lossyVal)/math.Abs(trueVal)
+	if acc < 0 {
+		return 0
+	}
+	return acc
+}
+
+// Loss is 1 - Accuracy, the quantity plotted in the paper's Figs 8–9.
+func Loss(trueVal, lossyVal float64) float64 { return 1 - Accuracy(trueVal, lossyVal) }
+
+// Evaluate compares the operator on raw and lossy values and returns the
+// relative accuracy.
+func Evaluate(a Agg, raw, lossy []float64) (float64, error) {
+	tv, err := Apply(a, raw)
+	if err != nil {
+		return 0, err
+	}
+	lv, err := Apply(a, lossy)
+	if err != nil {
+		return 0, err
+	}
+	return Accuracy(tv, lv), nil
+}

@@ -1,0 +1,59 @@
+package sim
+
+// Link models a time-varying network connection: a repeating schedule of
+// phases, each with a duration (virtual seconds) and a capacity. A
+// capacity of zero means disconnected — typical for agriculture, aerospace
+// and mining deployments (paper §IV-A2: "the bandwidth changes for a
+// cellular network from 0.01 Mbps to 200 Mbps … network disconnection is
+// typical for IoT edge devices").
+type Link struct {
+	phases []LinkPhase
+	cycle  float64
+}
+
+// LinkPhase is one segment of a link schedule.
+type LinkPhase struct {
+	// Seconds is the phase duration in virtual time.
+	Seconds float64
+	// Bandwidth is the capacity during the phase; 0 = disconnected.
+	Bandwidth Bandwidth
+}
+
+// NewLink builds a link from a schedule that repeats cyclically. An empty
+// schedule yields a permanently disconnected link.
+func NewLink(phases ...LinkPhase) *Link {
+	l := &Link{phases: phases}
+	for _, p := range phases {
+		if p.Seconds > 0 {
+			l.cycle += p.Seconds
+		}
+	}
+	return l
+}
+
+// At returns the capacity at virtual time t.
+func (l *Link) At(t float64) Bandwidth {
+	if len(l.phases) == 0 || l.cycle == 0 {
+		return 0
+	}
+	if t < 0 {
+		t = 0
+	}
+	rem := t - float64(int64(t/l.cycle))*l.cycle
+	for _, p := range l.phases {
+		if p.Seconds <= 0 {
+			continue
+		}
+		if rem < p.Seconds {
+			return p.Bandwidth
+		}
+		rem -= p.Seconds
+	}
+	return l.phases[len(l.phases)-1].Bandwidth
+}
+
+// Connected reports whether the link is up at virtual time t.
+func (l *Link) Connected(t float64) bool { return l.At(t) > 0 }
+
+// CycleSeconds returns the schedule period.
+func (l *Link) CycleSeconds() float64 { return l.cycle }

@@ -1,0 +1,53 @@
+package sim
+
+import "testing"
+
+func TestLinkSchedule(t *testing.T) {
+	l := NewLink(
+		LinkPhase{Seconds: 10, Bandwidth: Net4G},
+		LinkPhase{Seconds: 5, Bandwidth: 0}, // disconnected
+		LinkPhase{Seconds: 5, Bandwidth: Net3G},
+	)
+	cases := []struct {
+		t    float64
+		want Bandwidth
+	}{
+		{0, Net4G}, {9.99, Net4G},
+		{10, 0}, {14.9, 0},
+		{15, Net3G}, {19.9, Net3G},
+		{20, Net4G}, // cycles
+		{35, Net3G}, // second cycle
+		{-1, Net4G}, // clamped
+	}
+	for _, c := range cases {
+		if got := l.At(c.t); got != c.want {
+			t.Errorf("At(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+	if l.CycleSeconds() != 20 {
+		t.Fatalf("cycle = %v", l.CycleSeconds())
+	}
+	if l.Connected(12) {
+		t.Fatal("should be disconnected at t=12")
+	}
+	if !l.Connected(3) {
+		t.Fatal("should be connected at t=3")
+	}
+}
+
+func TestLinkEmpty(t *testing.T) {
+	l := NewLink()
+	if l.At(5) != 0 || l.Connected(5) {
+		t.Fatal("empty link should be permanently down")
+	}
+}
+
+func TestLinkZeroDurationPhasesSkipped(t *testing.T) {
+	l := NewLink(
+		LinkPhase{Seconds: 0, Bandwidth: Net5G},
+		LinkPhase{Seconds: 10, Bandwidth: Net2G},
+	)
+	if got := l.At(1); got != Net2G {
+		t.Fatalf("At(1) = %v, want 2G (zero-length phase skipped)", got)
+	}
+}

@@ -1,0 +1,141 @@
+package store
+
+// Informativeness implements the alternative compression-ordering policy
+// sketched in paper §IV-B2: a segment's value is measured by its query
+// usage *and* by how much it contributes to those queries — "a segment
+// with 1% qualified entries is less informative than one with 99%". The
+// least informative segment is recoded first.
+//
+// Score accumulation: every Get adds a contribution (default 1.0; callers
+// that know the qualified-entry ratio report it via RecordContribution).
+// Scores decay multiplicatively on every recode rotation so stale history
+// does not protect a segment forever.
+type Informativeness struct {
+	scores map[uint64]float64
+	seq    map[uint64]uint64 // insertion order, tie-break
+	next   uint64
+	// Decay is applied to a victim's score when it is re-Put (recoded);
+	// defaults to 0.5.
+	Decay float64
+}
+
+// NewInformativeness returns an empty policy.
+func NewInformativeness() *Informativeness {
+	return &Informativeness{
+		scores: make(map[uint64]float64),
+		seq:    make(map[uint64]uint64),
+		Decay:  0.5,
+	}
+}
+
+// Put implements Policy: registers a segment, or decays an existing one's
+// score (a re-Put happens after recoding).
+func (p *Informativeness) Put(id uint64) {
+	if _, ok := p.seq[id]; ok {
+		p.scores[id] *= p.Decay
+		return
+	}
+	p.seq[id] = p.next
+	p.next++
+	p.scores[id] = 0
+}
+
+// Get implements Policy: each query access adds one unit of
+// informativeness.
+func (p *Informativeness) Get(id uint64) {
+	if _, ok := p.seq[id]; ok {
+		p.scores[id]++
+	}
+}
+
+// RecordContribution credits a fractional contribution, e.g. the ratio of
+// entries in the segment that qualified for a filtered query.
+func (p *Informativeness) RecordContribution(id uint64, ratio float64) {
+	if _, ok := p.seq[id]; !ok {
+		return
+	}
+	if ratio < 0 {
+		ratio = 0
+	}
+	if ratio > 1 {
+		ratio = 1
+	}
+	p.scores[id] += ratio
+}
+
+// Victim implements Policy: the lowest-score segment, oldest on ties.
+func (p *Informativeness) Victim() (uint64, bool) {
+	var best uint64
+	bestScore := -1.0
+	var bestSeq uint64
+	found := false
+	for id, score := range p.scores {
+		seq := p.seq[id]
+		if !found || score < bestScore || (score == bestScore && seq < bestSeq) {
+			best, bestScore, bestSeq = id, score, seq
+			found = true
+		}
+	}
+	return best, found
+}
+
+// Remove implements Policy.
+func (p *Informativeness) Remove(id uint64) {
+	delete(p.scores, id)
+	delete(p.seq, id)
+}
+
+// Len implements Policy.
+func (p *Informativeness) Len() int { return len(p.seq) }
+
+// Skip implements Skipper: an unshrinkable victim is credited a unit of
+// score so the selector moves on to the next-least-informative segment
+// instead of spinning on one that is already at its floor.
+func (p *Informativeness) Skip(id uint64) {
+	if _, ok := p.seq[id]; ok {
+		p.scores[id]++
+	}
+}
+
+// Skipper is implemented by policies that need a distinct signal for
+// "this victim cannot be compressed further" (as opposed to "this victim
+// was just recoded", which is Put).
+type Skipper interface {
+	Skip(id uint64)
+}
+
+// Skip demotes an unshrinkable victim: policies with a Skip method use
+// it; others rotate the victim to the back via Put.
+func (p *Pool) Skip(id uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.entries[id]; !ok {
+		return
+	}
+	if s, ok := p.policy.(Skipper); ok {
+		s.Skip(id)
+		return
+	}
+	p.policy.Put(id)
+}
+
+// ContributionRecorder is implemented by policies that can use
+// finer-grained informativeness signals than a plain access count.
+type ContributionRecorder interface {
+	RecordContribution(id uint64, ratio float64)
+}
+
+// RecordContribution forwards a qualified-entry ratio to the pool's policy
+// if it supports contributions; otherwise it degrades to a plain access.
+func (p *Pool) RecordContribution(id uint64, ratio float64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.entries[id]; !ok {
+		return
+	}
+	if cr, ok := p.policy.(ContributionRecorder); ok {
+		cr.RecordContribution(id, ratio)
+		return
+	}
+	p.policy.Get(id)
+}

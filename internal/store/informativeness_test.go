@@ -1,0 +1,109 @@
+package store
+
+import "testing"
+
+func TestInformativenessVictimIsLeastInformative(t *testing.T) {
+	p := NewInformativeness()
+	p.Put(1)
+	p.Put(2)
+	p.Put(3)
+	// Queries touch 2 heavily, 3 lightly, 1 never.
+	p.Get(2)
+	p.Get(2)
+	p.Get(3)
+	if v, ok := p.Victim(); !ok || v != 1 {
+		t.Fatalf("victim = %d, want 1 (never queried)", v)
+	}
+	p.Remove(1)
+	if v, _ := p.Victim(); v != 3 {
+		t.Fatalf("victim = %d, want 3 (least queried)", v)
+	}
+}
+
+func TestInformativenessQualifiedRatio(t *testing.T) {
+	// Paper §IV-B2: "a segment with 1% qualified entries is less
+	// informative than one with 99%".
+	p := NewInformativeness()
+	p.Put(1)
+	p.Put(2)
+	p.RecordContribution(1, 0.01)
+	p.RecordContribution(2, 0.99)
+	if v, _ := p.Victim(); v != 1 {
+		t.Fatalf("victim = %d, want the 1%%-qualified segment", v)
+	}
+	// Out-of-range ratios are clamped, unknown ids ignored.
+	p.RecordContribution(1, -5)
+	p.RecordContribution(1, 7)
+	p.RecordContribution(99, 1)
+	if p.Len() != 2 {
+		t.Fatal("unknown id registered")
+	}
+}
+
+func TestInformativenessTieBreaksOldest(t *testing.T) {
+	p := NewInformativeness()
+	p.Put(5)
+	p.Put(2)
+	p.Put(9)
+	// All scores zero: the first inserted must be the victim.
+	if v, _ := p.Victim(); v != 5 {
+		t.Fatalf("victim = %d, want 5 (insertion order tie-break)", v)
+	}
+}
+
+func TestInformativenessDecayOnRePut(t *testing.T) {
+	p := NewInformativeness()
+	p.Put(1)
+	p.Put(2)
+	for i := 0; i < 8; i++ {
+		p.Get(1)
+	}
+	p.Get(2)
+	if v, _ := p.Victim(); v != 2 {
+		t.Fatalf("victim = %d", v)
+	}
+	// Recode rotations decay segment 1's protection.
+	p.Put(1) // 8 -> 4
+	p.Put(1) // 4 -> 2
+	p.Put(1) // 2 -> 1
+	p.Put(1) // 1 -> 0.5
+	if v, _ := p.Victim(); v != 1 {
+		t.Fatalf("victim = %d, want 1 after decay", v)
+	}
+}
+
+func TestInformativenessEmpty(t *testing.T) {
+	p := NewInformativeness()
+	if _, ok := p.Victim(); ok {
+		t.Fatal("empty policy has no victim")
+	}
+	p.Get(1)    // unknown: no-op
+	p.Remove(1) // unknown: no-op
+	if p.Len() != 0 {
+		t.Fatal("len changed")
+	}
+}
+
+func TestPoolRecordContributionFallsBackToGet(t *testing.T) {
+	// With an LRU policy (no ContributionRecorder), RecordContribution
+	// must degrade to a protective access.
+	p := NewPool(NewLRU())
+	p.Put(entry(1, 8))
+	p.Put(entry(2, 8))
+	p.RecordContribution(1, 0.9)
+	if v, _ := p.Victim(); v.ID != 2 {
+		t.Fatalf("victim = %d, want 2 (1 was touched)", v.ID)
+	}
+	p.RecordContribution(99, 0.5) // unknown id: no-op
+}
+
+func TestPoolRecordContributionWithInformativeness(t *testing.T) {
+	p := NewPool(NewInformativeness())
+	p.Put(entry(1, 8))
+	p.Put(entry(2, 8))
+	p.RecordContribution(1, 0.05)
+	p.RecordContribution(2, 0.95)
+	if v, _ := p.Victim(); v.ID != 1 {
+		t.Fatalf("victim = %d, want the low-contribution segment", v.ID)
+	}
+}

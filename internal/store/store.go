@@ -1,0 +1,302 @@
+// Package store implements AdaEdge's segment management (paper §IV-F): the
+// uncompressed ingest buffer, the compressed buffer pool, and pluggable
+// compression-ordering policies behind the standard GET/PUT API, with the
+// paper's LRU-based policy as the default and a round-robin (RRDTool-style
+// oldest-first) policy for comparison.
+package store
+
+import (
+	"container/list"
+	"sync"
+
+	"repro/internal/compress"
+	"repro/internal/timeseries"
+)
+
+// Entry is a compressed segment resident in the pool.
+type Entry struct {
+	// ID is the segment id.
+	ID uint64
+	// Enc is the current compressed representation.
+	Enc compress.Encoded
+	// Lossless records whether Enc was produced by a lossless codec.
+	Lossless bool
+	// Level counts how many times the segment has been recoded (0 =
+	// first compression).
+	Level int
+	// Label is the segment's class label, carried for ML evaluation.
+	Label int
+	// StartSec and EndSec bound the segment's span on the device's
+	// virtual clock, enabling time-range queries.
+	StartSec, EndSec float64
+	// EvalRaw optionally retains the raw values for reward evaluation and
+	// experiment metrics only. It is ground truth the measurement harness
+	// holds (as the paper's evaluation does); it is never counted against
+	// the storage budget and a production deployment would evaluate at
+	// compression time instead.
+	EvalRaw []float64
+}
+
+// Policy orders segments for compression and recoding. Implementations
+// must be safe for use by a single goroutine; Store serializes access.
+type Policy interface {
+	// Put registers a (new or re-registered) segment as most recently
+	// used.
+	Put(id uint64)
+	// Get records an access to the segment (queries touch segments,
+	// making them unlikely recoding victims under LRU).
+	Get(id uint64)
+	// Victim returns the next segment to compress more aggressively,
+	// without removing it.
+	Victim() (uint64, bool)
+	// Remove forgets the segment.
+	Remove(id uint64)
+	// Len returns the number of tracked segments.
+	Len() int
+}
+
+// LRU is the paper's default policy: least-recently-used segments are
+// recoded first, so hot segments keep their fidelity.
+type LRU struct {
+	ll    *list.List
+	index map[uint64]*list.Element
+}
+
+// NewLRU returns an empty LRU policy.
+func NewLRU() *LRU {
+	return &LRU{ll: list.New(), index: make(map[uint64]*list.Element)}
+}
+
+// Put implements Policy.
+func (l *LRU) Put(id uint64) {
+	if e, ok := l.index[id]; ok {
+		l.ll.MoveToBack(e)
+		return
+	}
+	l.index[id] = l.ll.PushBack(id)
+}
+
+// Get implements Policy.
+func (l *LRU) Get(id uint64) {
+	if e, ok := l.index[id]; ok {
+		l.ll.MoveToBack(e)
+	}
+}
+
+// Victim implements Policy: the front of the list is least recently used.
+func (l *LRU) Victim() (uint64, bool) {
+	if e := l.ll.Front(); e != nil {
+		return e.Value.(uint64), true
+	}
+	return 0, false
+}
+
+// Remove implements Policy.
+func (l *LRU) Remove(id uint64) {
+	if e, ok := l.index[id]; ok {
+		l.ll.Remove(e)
+		delete(l.index, id)
+	}
+}
+
+// Len implements Policy.
+func (l *LRU) Len() int { return l.ll.Len() }
+
+// RoundRobin recodes strictly oldest-first regardless of access pattern,
+// matching RRDTool/TVStore behaviour; kept for the LRU ablation.
+type RoundRobin struct {
+	ll    *list.List
+	index map[uint64]*list.Element
+}
+
+// NewRoundRobin returns an empty round-robin policy.
+func NewRoundRobin() *RoundRobin {
+	return &RoundRobin{ll: list.New(), index: make(map[uint64]*list.Element)}
+}
+
+// Put implements Policy: a (re-)put moves the segment to the back of the
+// cycle, so recoding rotates round-robin through the pool. Only accesses
+// (Get) are ignored — that is what distinguishes this policy from LRU.
+func (r *RoundRobin) Put(id uint64) {
+	if e, ok := r.index[id]; ok {
+		r.ll.MoveToBack(e)
+		return
+	}
+	r.index[id] = r.ll.PushBack(id)
+}
+
+// Get implements Policy: accesses do not affect ordering.
+func (*RoundRobin) Get(uint64) {}
+
+// Victim implements Policy.
+func (r *RoundRobin) Victim() (uint64, bool) {
+	if e := r.ll.Front(); e != nil {
+		return e.Value.(uint64), true
+	}
+	return 0, false
+}
+
+// Remove implements Policy.
+func (r *RoundRobin) Remove(id uint64) {
+	if e, ok := r.index[id]; ok {
+		r.ll.Remove(e)
+		delete(r.index, id)
+	}
+}
+
+// Len implements Policy.
+func (r *RoundRobin) Len() int { return r.ll.Len() }
+
+// Pool is the compressed buffer pool: entries indexed by segment id with a
+// compression-ordering policy.
+type Pool struct {
+	mu      sync.Mutex
+	entries map[uint64]*Entry
+	policy  Policy
+}
+
+// NewPool builds a pool with the given policy (nil selects LRU).
+func NewPool(policy Policy) *Pool {
+	if policy == nil {
+		policy = NewLRU()
+	}
+	return &Pool{entries: make(map[uint64]*Entry), policy: policy}
+}
+
+// Put inserts or replaces an entry and marks it most recently used.
+func (p *Pool) Put(e *Entry) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.entries[e.ID] = e
+	p.policy.Put(e.ID)
+}
+
+// Get returns the entry and records the access (the query path).
+func (p *Pool) Get(id uint64) (*Entry, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e, ok := p.entries[id]
+	if ok {
+		p.policy.Get(id)
+	}
+	return e, ok
+}
+
+// Peek returns the entry without touching the policy (the recoding path).
+func (p *Pool) Peek(id uint64) (*Entry, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e, ok := p.entries[id]
+	return e, ok
+}
+
+// Victim returns the next recoding victim per the policy.
+func (p *Pool) Victim() (*Entry, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for {
+		id, ok := p.policy.Victim()
+		if !ok {
+			return nil, false
+		}
+		if e, ok := p.entries[id]; ok {
+			return e, true
+		}
+		// Stale policy entry; drop and retry.
+		p.policy.Remove(id)
+	}
+}
+
+// Touch re-registers the entry as most recently used (after recoding, the
+// segment moves to the back of the list, paper §IV-F).
+func (p *Pool) Touch(id uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, ok := p.entries[id]; ok {
+		p.policy.Put(id)
+	}
+}
+
+// Remove deletes the entry.
+func (p *Pool) Remove(id uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	delete(p.entries, id)
+	p.policy.Remove(id)
+}
+
+// Len returns the number of entries.
+func (p *Pool) Len() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.entries)
+}
+
+// TotalBytes sums the compressed sizes of all entries.
+func (p *Pool) TotalBytes() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var total int64
+	for _, e := range p.entries {
+		total += int64(e.Enc.Size())
+	}
+	return total
+}
+
+// Each calls fn for every entry in unspecified order; fn must not mutate
+// the pool.
+func (p *Pool) Each(fn func(*Entry)) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, e := range p.entries {
+		fn(e)
+	}
+}
+
+// Buffer is the bounded uncompressed ingest buffer feeding the compression
+// threads. When full, Push reports false and the caller must flush or shed
+// (paper §IV-C: "if the uncompressed buffer exceeds its capacity … the
+// data is flushed to the disk").
+type Buffer struct {
+	mu    sync.Mutex
+	segs  []*timeseries.Segment
+	limit int
+}
+
+// NewBuffer builds a buffer holding at most limit segments (0 = 1024).
+func NewBuffer(limit int) *Buffer {
+	if limit <= 0 {
+		limit = 1024
+	}
+	return &Buffer{limit: limit}
+}
+
+// Push appends a segment, reporting whether it fit.
+func (b *Buffer) Push(s *timeseries.Segment) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.segs) >= b.limit {
+		return false
+	}
+	b.segs = append(b.segs, s)
+	return true
+}
+
+// Pop removes and returns the oldest segment.
+func (b *Buffer) Pop() (*timeseries.Segment, bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.segs) == 0 {
+		return nil, false
+	}
+	s := b.segs[0]
+	b.segs = b.segs[1:]
+	return s, true
+}
+
+// Len returns the number of buffered segments.
+func (b *Buffer) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.segs)
+}

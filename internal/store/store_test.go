@@ -1,0 +1,174 @@
+package store
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/compress"
+	"repro/internal/timeseries"
+)
+
+func entry(id uint64, size int) *Entry {
+	return &Entry{ID: id, Enc: compress.Encoded{Codec: "x", Data: make([]byte, size), N: size / 8}}
+}
+
+func TestLRUVictimOrder(t *testing.T) {
+	l := NewLRU()
+	l.Put(1)
+	l.Put(2)
+	l.Put(3)
+	if v, ok := l.Victim(); !ok || v != 1 {
+		t.Fatalf("victim = %d, want 1", v)
+	}
+	// Access 1: it becomes MRU; victim shifts to 2.
+	l.Get(1)
+	if v, _ := l.Victim(); v != 2 {
+		t.Fatalf("victim after Get(1) = %d, want 2", v)
+	}
+	// Re-Put 2: moves to back; victim shifts to 3.
+	l.Put(2)
+	if v, _ := l.Victim(); v != 3 {
+		t.Fatalf("victim after Put(2) = %d, want 3", v)
+	}
+	l.Remove(3)
+	if v, _ := l.Victim(); v != 1 {
+		t.Fatalf("victim after Remove(3) = %d, want 1", v)
+	}
+	if l.Len() != 2 {
+		t.Fatalf("len = %d", l.Len())
+	}
+}
+
+func TestLRUEmptyVictim(t *testing.T) {
+	l := NewLRU()
+	if _, ok := l.Victim(); ok {
+		t.Fatal("empty LRU should have no victim")
+	}
+	l.Get(99)    // unknown id: no-op
+	l.Remove(99) // unknown id: no-op
+}
+
+func TestRoundRobinIgnoresAccess(t *testing.T) {
+	r := NewRoundRobin()
+	r.Put(1)
+	r.Put(2)
+	r.Get(1) // access must NOT protect the segment
+	if v, _ := r.Victim(); v != 1 {
+		t.Fatalf("round-robin victim = %d, want 1 (oldest)", v)
+	}
+	r.Put(1) // recode rotation moves it to the back
+	if v, _ := r.Victim(); v != 2 {
+		t.Fatalf("victim after rotation = %d, want 2", v)
+	}
+	r.Remove(2)
+	if v, _ := r.Victim(); v != 1 {
+		t.Fatalf("victim = %d, want 1", v)
+	}
+	if r.Len() != 1 {
+		t.Fatalf("len = %d", r.Len())
+	}
+}
+
+func TestPoolPutGetVictim(t *testing.T) {
+	p := NewPool(nil)
+	p.Put(entry(1, 80))
+	p.Put(entry(2, 160))
+	if p.Len() != 2 {
+		t.Fatalf("len = %d", p.Len())
+	}
+	if got := p.TotalBytes(); got != 240 {
+		t.Fatalf("total bytes = %d", got)
+	}
+	v, ok := p.Victim()
+	if !ok || v.ID != 1 {
+		t.Fatalf("victim = %+v", v)
+	}
+	// Get(1) protects it: the next victim is 2.
+	if _, ok := p.Get(1); !ok {
+		t.Fatal("get failed")
+	}
+	v, _ = p.Victim()
+	if v.ID != 2 {
+		t.Fatalf("victim after access = %d, want 2", v.ID)
+	}
+	// Peek must not affect ordering.
+	p.Peek(2)
+	if v, _ := p.Victim(); v.ID != 2 {
+		t.Fatal("peek reordered the policy")
+	}
+	// Touch moves 2 behind 1.
+	p.Touch(2)
+	if v, _ := p.Victim(); v.ID != 1 {
+		t.Fatalf("victim after touch = %d, want 1", v.ID)
+	}
+}
+
+func TestPoolRemove(t *testing.T) {
+	p := NewPool(nil)
+	p.Put(entry(1, 80))
+	p.Remove(1)
+	if p.Len() != 0 {
+		t.Fatal("remove failed")
+	}
+	if _, ok := p.Victim(); ok {
+		t.Fatal("empty pool should have no victim")
+	}
+	if _, ok := p.Get(1); ok {
+		t.Fatal("get of removed entry succeeded")
+	}
+}
+
+func TestPoolVictimSkipsStalePolicyEntries(t *testing.T) {
+	// Remove through the policy only, leaving the pool map authoritative.
+	lru := NewLRU()
+	p := NewPool(lru)
+	p.Put(entry(1, 80))
+	p.Put(entry(2, 80))
+	delete(p.entries, 1) // simulate stale policy entry
+	v, ok := p.Victim()
+	if !ok || v.ID != 2 {
+		t.Fatalf("stale entry not skipped: %+v ok=%v", v, ok)
+	}
+}
+
+func TestPoolEach(t *testing.T) {
+	p := NewPool(nil)
+	p.Put(entry(1, 8))
+	p.Put(entry(2, 8))
+	seen := map[uint64]bool{}
+	p.Each(func(e *Entry) { seen[e.ID] = true })
+	if !seen[1] || !seen[2] {
+		t.Fatalf("each missed entries: %v", seen)
+	}
+}
+
+func TestBuffer(t *testing.T) {
+	b := NewBuffer(2)
+	seg := func(id uint64) *timeseries.Segment {
+		return timeseries.NewSegment(id, "s", time.Unix(0, 0), time.Second, []float64{1})
+	}
+	if !b.Push(seg(1)) || !b.Push(seg(2)) {
+		t.Fatal("push failed")
+	}
+	if b.Push(seg(3)) {
+		t.Fatal("push should fail when full")
+	}
+	if b.Len() != 2 {
+		t.Fatalf("len = %d", b.Len())
+	}
+	s, ok := b.Pop()
+	if !ok || s.ID != 1 {
+		t.Fatalf("pop = %+v", s)
+	}
+	b.Pop()
+	if _, ok := b.Pop(); ok {
+		t.Fatal("pop from empty buffer succeeded")
+	}
+}
+
+func TestBufferDefaultLimit(t *testing.T) {
+	b := NewBuffer(0)
+	if b.limit != 1024 {
+		t.Fatalf("default limit = %d", b.limit)
+	}
+}

@@ -1,0 +1,169 @@
+// Package timeseries defines the segmented time-series data model used
+// throughout AdaEdge. Incoming sensor values are cached into fixed-size
+// arrays ("segments"); each segment carries a timestamp and metadata
+// describing how it is currently compressed.
+package timeseries
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Precision describes the number of decimal digits a dataset guarantees.
+// BUFF and Sprintz use it to bound the fractional bit width.
+type Precision int
+
+// Common dataset precisions from the paper's evaluation setup:
+// four digits for CBF, five for UCR, six for UCI.
+const (
+	PrecisionCBF Precision = 4
+	PrecisionUCR Precision = 5
+	PrecisionUCI Precision = 6
+)
+
+// Segment is a fixed-length run of consecutive data points from one signal.
+// Segments are the unit of compression: exactly one compression scheme is
+// selected per segment at any time.
+type Segment struct {
+	// ID is a monotonically increasing sequence number assigned at ingest.
+	ID uint64
+	// Signal identifies the source sensor stream.
+	Signal string
+	// Start is the timestamp of the first point.
+	Start time.Time
+	// Interval is the uniform sampling interval between points.
+	Interval time.Duration
+	// Values holds the raw data points. Nil once the segment has been
+	// compressed and its raw form dropped.
+	Values []float64
+	// Label is an optional class label used by ML evaluation workloads.
+	Label int
+}
+
+// ErrEmptySegment is returned by operations that require at least one point.
+var ErrEmptySegment = errors.New("timeseries: empty segment")
+
+// NewSegment builds a segment from a copy of values.
+func NewSegment(id uint64, signal string, start time.Time, interval time.Duration, values []float64) *Segment {
+	v := make([]float64, len(values))
+	copy(v, values)
+	return &Segment{ID: id, Signal: signal, Start: start, Interval: interval, Values: v}
+}
+
+// Len returns the number of points in the segment.
+func (s *Segment) Len() int { return len(s.Values) }
+
+// RawSize returns the uncompressed size in bytes (8 bytes per float64),
+// the quantity U in the paper's formulation.
+func (s *Segment) RawSize() int { return 8 * len(s.Values) }
+
+// End returns the timestamp just past the last point.
+func (s *Segment) End() time.Time {
+	return s.Start.Add(time.Duration(len(s.Values)) * s.Interval)
+}
+
+// Clone returns a deep copy of the segment.
+func (s *Segment) Clone() *Segment {
+	c := *s
+	c.Values = make([]float64, len(s.Values))
+	copy(c.Values, s.Values)
+	return &c
+}
+
+// String implements fmt.Stringer.
+func (s *Segment) String() string {
+	return fmt.Sprintf("segment(%s#%d, %d pts @ %s)", s.Signal, s.ID, len(s.Values), s.Start.Format(time.RFC3339))
+}
+
+// Stats summarizes a segment's value distribution. Codecs and the selection
+// framework use it to estimate compressibility.
+type Stats struct {
+	Min, Max  float64
+	Mean      float64
+	Std       float64
+	Distinct  int     // number of distinct values (capped sample-based for large segments)
+	Entropy   float64 // empirical Shannon entropy of value histogram, bits/value
+	FirstDiff float64 // mean absolute first difference, a smoothness proxy
+}
+
+// ComputeStats scans the segment once and derives distribution statistics.
+func (s *Segment) ComputeStats() (Stats, error) {
+	if len(s.Values) == 0 {
+		return Stats{}, ErrEmptySegment
+	}
+	st := Stats{Min: math.Inf(1), Max: math.Inf(-1)}
+	var sum, sumSq float64
+	for _, v := range s.Values {
+		if v < st.Min {
+			st.Min = v
+		}
+		if v > st.Max {
+			st.Max = v
+		}
+		sum += v
+		sumSq += v * v
+	}
+	n := float64(len(s.Values))
+	st.Mean = sum / n
+	variance := sumSq/n - st.Mean*st.Mean
+	if variance < 0 {
+		variance = 0
+	}
+	st.Std = math.Sqrt(variance)
+
+	var diffSum float64
+	for i := 1; i < len(s.Values); i++ {
+		diffSum += math.Abs(s.Values[i] - s.Values[i-1])
+	}
+	if len(s.Values) > 1 {
+		st.FirstDiff = diffSum / float64(len(s.Values)-1)
+	}
+
+	st.Distinct, st.Entropy = histogramEntropy(s.Values, st.Min, st.Max)
+	return st, nil
+}
+
+// histogramEntropy buckets values into up to 64 equal-width bins and returns
+// (distinct bins occupied, Shannon entropy in bits).
+func histogramEntropy(values []float64, min, max float64) (int, float64) {
+	const bins = 64
+	if max <= min {
+		return 1, 0
+	}
+	var counts [bins]int
+	width := (max - min) / bins
+	for _, v := range values {
+		b := int((v - min) / width)
+		if b >= bins {
+			b = bins - 1
+		}
+		if b < 0 {
+			b = 0
+		}
+		counts[b]++
+	}
+	n := float64(len(values))
+	distinct := 0
+	entropy := 0.0
+	for _, c := range counts {
+		if c == 0 {
+			continue
+		}
+		distinct++
+		p := float64(c) / n
+		entropy -= p * math.Log2(p)
+	}
+	return distinct, entropy
+}
+
+// Quantize rounds every value to the given decimal precision in place.
+// Datasets declare a precision (paper §V) and BUFF/Sprintz rely on values
+// actually fitting within it.
+func (s *Segment) Quantize(p Precision) {
+	scale := math.Pow10(int(p))
+	for i, v := range s.Values {
+		s.Values[i] = math.Round(v*scale) / scale
+	}
+}

@@ -1,0 +1,44 @@
+package transport
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"repro/internal/compress"
+)
+
+// FuzzFrameReader: arbitrary bytes must never panic the frame parser or
+// make it allocate past the payload bound.
+func FuzzFrameReader(f *testing.F) {
+	// Seed with a valid two-frame stream.
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	paa := compress.NewPAA()
+	enc, err := paa.CompressRatio([]float64{1, 2, 3, 4, 5, 6, 7, 8}, 0.5)
+	if err != nil {
+		f.Fatal(err)
+	}
+	_ = w.Send(Frame{ID: 1, Label: 2, Enc: enc})
+	_ = w.Send(Frame{ID: 2, Label: -1, Enc: enc})
+	_ = w.Flush()
+	f.Add(buf.Bytes())
+	f.Add([]byte("AES1"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(bytes.NewReader(data))
+		for i := 0; i < 64; i++ { // bounded frames per input
+			frame, err := r.Recv()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				return // rejected: fine
+			}
+			if len(frame.Enc.Data) > maxFrameData {
+				t.Fatal("payload bound violated")
+			}
+		}
+	})
+}

@@ -1,0 +1,153 @@
+package transport
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync"
+
+	"repro/internal/compress"
+)
+
+// Collector is the cloud-side receiver: it accepts connections from edge
+// devices, parses segment frames, and hands decompressed (or raw encoded)
+// segments to a sink. It is the minimal centralized counterpart an
+// AdaEdge deployment transmits to.
+type Collector struct {
+	reg  *compress.Registry
+	sink func(Frame, []float64)
+
+	mu       sync.Mutex
+	ln       net.Listener
+	wg       sync.WaitGroup
+	frames   int
+	badConns int
+	closed   bool
+}
+
+// NewCollector builds a receiver. sink is invoked for every frame with the
+// decompressed values (nil when decode fails or the codec is unknown —
+// the frame itself still carries the payload).
+func NewCollector(reg *compress.Registry, sink func(Frame, []float64)) *Collector {
+	if sink == nil {
+		sink = func(Frame, []float64) {}
+	}
+	return &Collector{reg: reg, sink: sink}
+}
+
+// Serve listens on addr ("127.0.0.1:0" for an ephemeral test port) and
+// accepts connections until Close. It returns the bound address.
+func (c *Collector) Serve(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.ln = ln
+	c.mu.Unlock()
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			c.wg.Add(1)
+			go func() {
+				defer c.wg.Done()
+				c.handle(conn)
+			}()
+		}
+	}()
+	return ln.Addr(), nil
+}
+
+func (c *Collector) handle(conn net.Conn) {
+	defer conn.Close()
+	r := NewReader(conn)
+	for {
+		frame, err := r.Recv()
+		if errors.Is(err, io.EOF) {
+			return
+		}
+		if err != nil {
+			c.mu.Lock()
+			c.badConns++
+			c.mu.Unlock()
+			return
+		}
+		var values []float64
+		if c.reg != nil {
+			if v, derr := c.reg.Decompress(frame.Enc); derr == nil {
+				values = v
+			}
+		}
+		c.mu.Lock()
+		c.frames++
+		c.mu.Unlock()
+		c.sink(frame, values)
+	}
+}
+
+// Frames returns the number of frames received so far.
+func (c *Collector) Frames() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.frames
+}
+
+// BadConns returns the number of connections dropped on malformed input.
+func (c *Collector) BadConns() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.badConns
+}
+
+// Close stops accepting and waits for in-flight connections.
+func (c *Collector) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	ln := c.ln
+	c.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	c.wg.Wait()
+	return err
+}
+
+// Uplink is the device-side sender: a connection plus framing.
+type Uplink struct {
+	conn net.Conn
+	w    *Writer
+}
+
+// Dial connects to a Collector.
+func Dial(addr string) (*Uplink, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Uplink{conn: conn, w: NewWriter(conn)}, nil
+}
+
+// Send transmits one segment frame.
+func (u *Uplink) Send(f Frame) error { return u.w.Send(f) }
+
+// Flush pushes buffered frames.
+func (u *Uplink) Flush() error { return u.w.Flush() }
+
+// Close flushes and closes the connection.
+func (u *Uplink) Close() error {
+	if err := u.w.Flush(); err != nil {
+		u.conn.Close()
+		return err
+	}
+	return u.conn.Close()
+}

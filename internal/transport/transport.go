@@ -1,0 +1,155 @@
+// Package transport ships compressed segments over a network connection —
+// the egress stage of AdaEdge's online mode ("we send out those segments
+// through a network protocol", paper §IV-B1). The wire format is a
+// varint-framed stream of self-describing segments carrying the codec
+// metadata the receiver needs to decompress (paper §IV-C: "each segment …
+// is associated with metadata describing its compression configurations").
+//
+// Frame layout (little-endian, one frame per segment):
+//
+//	magic "AES1"
+//	uvarint id | zigzag-varint label | uvarint len(codec) | codec |
+//	uvarint N | uvarint len(data) | data
+//
+// The stream ends with the sender closing its side; no trailer is needed.
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/compress"
+)
+
+// Frame is one transmitted segment.
+type Frame struct {
+	// ID is the segment id on the sending device.
+	ID uint64
+	// Label is the segment's class label (-1 when unknown).
+	Label int
+	// Enc is the compressed representation plus codec metadata.
+	Enc compress.Encoded
+}
+
+var frameMagic = [4]byte{'A', 'E', 'S', '1'}
+
+// ErrBadFrame is returned on malformed input.
+var ErrBadFrame = errors.New("transport: bad frame")
+
+// maxFrameData bounds a frame's payload against hostile length fields.
+const maxFrameData = 1 << 30
+
+// Writer frames segments onto an io.Writer.
+type Writer struct {
+	w   *bufio.Writer
+	tmp [binary.MaxVarintLen64]byte
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w)}
+}
+
+func (t *Writer) uvarint(v uint64) error {
+	n := binary.PutUvarint(t.tmp[:], v)
+	_, err := t.w.Write(t.tmp[:n])
+	return err
+}
+
+// Send writes one frame. Call Flush (or Send more frames and then Flush)
+// to push buffered bytes to the connection.
+func (t *Writer) Send(f Frame) error {
+	if len(f.Enc.Codec) == 0 || len(f.Enc.Codec) > 255 {
+		return fmt.Errorf("%w: codec name %q", ErrBadFrame, f.Enc.Codec)
+	}
+	if _, err := t.w.Write(frameMagic[:]); err != nil {
+		return err
+	}
+	if err := t.uvarint(f.ID); err != nil {
+		return err
+	}
+	if err := t.uvarint(zigzag(int64(f.Label))); err != nil {
+		return err
+	}
+	if err := t.uvarint(uint64(len(f.Enc.Codec))); err != nil {
+		return err
+	}
+	if _, err := t.w.WriteString(f.Enc.Codec); err != nil {
+		return err
+	}
+	if err := t.uvarint(uint64(f.Enc.N)); err != nil {
+		return err
+	}
+	if err := t.uvarint(uint64(len(f.Enc.Data))); err != nil {
+		return err
+	}
+	_, err := t.w.Write(f.Enc.Data)
+	return err
+}
+
+// Flush pushes buffered frames downstream.
+func (t *Writer) Flush() error { return t.w.Flush() }
+
+// Reader parses frames from an io.Reader.
+type Reader struct {
+	r *bufio.Reader
+}
+
+// NewReader wraps r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReader(r)}
+}
+
+// Recv reads the next frame. io.EOF signals a clean end of stream (the
+// sender closed between frames); any mid-frame truncation is an error.
+func (t *Reader) Recv() (Frame, error) {
+	var magic [4]byte
+	if _, err := io.ReadFull(t.r, magic[:]); err != nil {
+		if err == io.EOF {
+			return Frame{}, io.EOF
+		}
+		return Frame{}, fmt.Errorf("%w: %v", ErrBadFrame, err)
+	}
+	if magic != frameMagic {
+		return Frame{}, ErrBadFrame
+	}
+	var f Frame
+	var err error
+	if f.ID, err = binary.ReadUvarint(t.r); err != nil {
+		return Frame{}, fmt.Errorf("%w: %v", ErrBadFrame, err)
+	}
+	labelZZ, err := binary.ReadUvarint(t.r)
+	if err != nil {
+		return Frame{}, fmt.Errorf("%w: %v", ErrBadFrame, err)
+	}
+	f.Label = int(unzigzag(labelZZ))
+	nameLen, err := binary.ReadUvarint(t.r)
+	if err != nil || nameLen == 0 || nameLen > 255 {
+		return Frame{}, ErrBadFrame
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(t.r, name); err != nil {
+		return Frame{}, fmt.Errorf("%w: %v", ErrBadFrame, err)
+	}
+	f.Enc.Codec = string(name)
+	n, err := binary.ReadUvarint(t.r)
+	if err != nil {
+		return Frame{}, fmt.Errorf("%w: %v", ErrBadFrame, err)
+	}
+	f.Enc.N = int(n)
+	dataLen, err := binary.ReadUvarint(t.r)
+	if err != nil || dataLen > maxFrameData {
+		return Frame{}, ErrBadFrame
+	}
+	f.Enc.Data = make([]byte, dataLen)
+	if _, err := io.ReadFull(t.r, f.Enc.Data); err != nil {
+		return Frame{}, fmt.Errorf("%w: %v", ErrBadFrame, err)
+	}
+	return f, nil
+}
+
+func zigzag(v int64) uint64   { return uint64((v << 1) ^ (v >> 63)) }
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }

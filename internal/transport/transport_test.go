@@ -1,0 +1,219 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/compress"
+	"repro/internal/datasets"
+)
+
+func sampleFrames(t *testing.T, n int) ([]Frame, [][]float64) {
+	t.Helper()
+	reg := compress.DefaultRegistry(4)
+	X, y := datasets.CBF(n, datasets.CBFConfig{Seed: 5})
+	names := reg.Names()
+	frames := make([]Frame, n)
+	for i, row := range X {
+		codec, _ := reg.Lookup(names[i%len(names)])
+		var enc compress.Encoded
+		var err error
+		if lc, ok := codec.(compress.LossyCodec); ok {
+			enc, err = lc.CompressRatio(row, 0.3)
+			if err != nil {
+				enc, err = codec.Compress(row)
+			}
+		} else {
+			enc, err = codec.Compress(row)
+		}
+		if err != nil {
+			t.Fatalf("%s: %v", codec.Name(), err)
+		}
+		frames[i] = Frame{ID: uint64(i), Label: y[i], Enc: enc}
+	}
+	return frames, X
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	frames, _ := sampleFrames(t, 17) // one per codec
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, f := range frames {
+		if err := w.Send(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	for i, want := range frames {
+		got, err := r.Recv()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if got.ID != want.ID || got.Label != want.Label || got.Enc.Codec != want.Enc.Codec || got.Enc.N != want.Enc.N {
+			t.Fatalf("frame %d metadata: %+v vs %+v", i, got, want)
+		}
+		if !bytes.Equal(got.Enc.Data, want.Enc.Data) {
+			t.Fatalf("frame %d payload differs", i)
+		}
+	}
+	if _, err := r.Recv(); err != io.EOF {
+		t.Fatalf("want io.EOF at stream end, got %v", err)
+	}
+}
+
+func TestFrameNegativeLabel(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	f := Frame{ID: 3, Label: -1, Enc: compress.Encoded{Codec: "paa", Data: []byte{1}, N: 1}}
+	if err := w.Send(f); err != nil {
+		t.Fatal(err)
+	}
+	w.Flush()
+	got, err := NewReader(&buf).Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Label != -1 {
+		t.Fatalf("label = %d", got.Label)
+	}
+}
+
+func TestFrameRejectsBadInput(t *testing.T) {
+	cases := [][]byte{
+		{'X', 'X', 'X', 'X'},
+		{'A', 'E', 'S', '1'},            // truncated
+		append([]byte("AES1"), 1, 2, 0), // zero-length codec name
+	}
+	for i, data := range cases {
+		if _, err := NewReader(bytes.NewReader(data)).Recv(); err == nil || err == io.EOF {
+			t.Errorf("case %d: bad frame accepted (%v)", i, err)
+		}
+	}
+	// Empty codec name rejected at send time.
+	if err := NewWriter(io.Discard).Send(Frame{}); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("want ErrBadFrame, got %v", err)
+	}
+}
+
+func TestFrameTruncatedMidPayload(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	w.Send(Frame{ID: 1, Enc: compress.Encoded{Codec: "paa", Data: make([]byte, 100), N: 10}})
+	w.Flush()
+	data := buf.Bytes()[:buf.Len()-10]
+	r := NewReader(bytes.NewReader(data))
+	if _, err := r.Recv(); err == nil || err == io.EOF {
+		t.Fatalf("truncated payload accepted: %v", err)
+	}
+}
+
+func TestCollectorEndToEnd(t *testing.T) {
+	reg := compress.DefaultRegistry(4)
+	var mu sync.Mutex
+	received := map[uint64][]float64{}
+	col := NewCollector(reg, func(f Frame, values []float64) {
+		mu.Lock()
+		received[f.ID] = values
+		mu.Unlock()
+	})
+	addr, err := col.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.Close()
+
+	frames, raws := sampleFrames(t, 12)
+	up, err := Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range frames {
+		if err := up.Send(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := up.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if col.Frames() >= len(frames) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("received %d/%d frames", col.Frames(), len(frames))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for i, f := range frames {
+		vals, ok := received[f.ID]
+		if !ok {
+			t.Fatalf("frame %d missing", i)
+		}
+		if len(vals) != len(raws[i]) {
+			t.Fatalf("frame %d decoded to %d values", i, len(vals))
+		}
+	}
+}
+
+func TestCollectorSurvivesGarbageConnection(t *testing.T) {
+	col := NewCollector(compress.DefaultRegistry(4), nil)
+	addr, err := col.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.Close()
+
+	// A garbage connection must be dropped without affecting the next one.
+	up1, err := Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	up1.conn.Write([]byte("not a frame at all"))
+	up1.conn.Close()
+
+	frames, _ := sampleFrames(t, 2)
+	up2, err := Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range frames {
+		if err := up2.Send(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	up2.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for col.Frames() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("frames = %d after garbage connection", col.Frames())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if col.BadConns() == 0 {
+		t.Fatal("garbage connection not counted")
+	}
+}
+
+func TestCollectorCloseIdempotent(t *testing.T) {
+	col := NewCollector(nil, nil)
+	if _, err := col.Serve("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := col.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := col.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
