@@ -47,6 +47,13 @@ type (
 	Device = core.Device
 	// Pipeline fans online selection across workers (paper §V-C).
 	Pipeline = core.Pipeline
+	// OnlineParallel fans ONE stream's codec trials across workers while
+	// keeping selections byte-identical to the sequential run.
+	OnlineParallel = core.OnlineParallel
+	// PreparedSegment carries a segment with speculatively computed trials.
+	PreparedSegment = core.PreparedSegment
+	// LabeledSegment pairs segment values with a class label.
+	LabeledSegment = core.LabeledSegment
 	// Mux routes multiple signals to per-signal engines.
 	Mux = core.Mux
 	// Collector turns a point stream into fixed-size segments.
@@ -134,6 +141,10 @@ var (
 	NewDevice = core.NewDevice
 	// NewPipeline builds a multi-worker online pipeline.
 	NewPipeline = core.NewPipeline
+	// NewOnlineParallel wraps one engine in the single-stream pipeline.
+	NewOnlineParallel = core.NewOnlineParallel
+	// RunOnlineSegments processes a batch honoring Config.Workers.
+	RunOnlineSegments = core.RunOnlineSegments
 	// NewMux builds a multi-signal router.
 	NewMux = core.NewMux
 	// NewCollector builds a point-level ingest collector.

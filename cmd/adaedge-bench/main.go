@@ -19,9 +19,10 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: fig2,fig3,fig5,fig6,fig7,fig8,fig9,fig10,fig11,fig12,fig13,fig14,fig15,scale,headline,all")
+	exp := flag.String("exp", "all", "experiment to run: fig2,fig3,fig5,fig6,fig7,fig8,fig9,fig10,fig11,fig12,fig13,fig14,fig15,scale,parallel,headline,all")
 	segments := flag.Int("segments", 0, "stream length in segments (0 = experiment default)")
 	budget := flag.Int64("budget", 0, "offline storage budget in bytes (0 = default)")
+	workers := flag.Int("workers", 0, "parallel experiment: measure only this worker count (0 = the 1,2,4,8 ladder)")
 	model := flag.String("model", "", "fig7 model kind: dtree|rforest|knn|kmeans (default: all four)")
 	format := flag.String("format", "text", "output format: text|csv (csv supports fig2,3,5,6,7,8,9,10,11,12,13,14)")
 	flag.Parse()
@@ -114,6 +115,12 @@ func main() {
 			experiments.Fig15bMAB(w, *segments, 15, nil)
 		case "scale":
 			experiments.Scalability(w, nil, *segments)
+		case "parallel":
+			var counts []int
+			if *workers > 0 {
+				counts = []int{*workers}
+			}
+			experiments.ParallelScalability(w, counts, *segments)
 		case "headline":
 			experiments.HeadlineClaims(w, *segments)
 		default:
@@ -124,7 +131,7 @@ func main() {
 	}
 
 	if *exp == "all" {
-		for _, name := range []string{"fig2", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "scale", "headline"} {
+		for _, name := range []string{"fig2", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "scale", "parallel", "headline"} {
 			fmt.Fprintf(w, "=== %s ===\n", name)
 			run(name)
 		}

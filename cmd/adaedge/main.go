@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -39,6 +40,7 @@ func main() {
 	policy := flag.String("policy", "lru", "offline recoding policy: lru|roundrobin|informativeness")
 	ucb := flag.Bool("ucb", false, "use UCB1 instead of optimistic ε-greedy")
 	extended := flag.Bool("extended", false, "add the modelar and summary codecs to the candidate set")
+	workers := flag.Int("workers", 1, "codec-trial worker goroutines (1 = sequential; results are identical at any count)")
 	flag.Parse()
 
 	obj, err := buildObjective(*target)
@@ -53,6 +55,7 @@ func main() {
 		Objective:           obj,
 		Seed:                *seed,
 		UseUCB:              *ucb,
+		Workers:             *workers,
 	}
 	switch strings.ToLower(*policy) {
 	case "lru", "":
@@ -137,15 +140,23 @@ func runOnline(cfg core.Config, stream *datasets.CBFStream, segments int, verbos
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	fmt.Printf("online mode: target compression ratio %.4f\n", eng.TargetRatio())
-	for i := 0; i < segments; i++ {
+	fmt.Printf("online mode: target compression ratio %.4f", eng.TargetRatio())
+	if w := eng.Workers(); w > 1 {
+		fmt.Printf("   (%d trial workers)", w)
+	}
+	fmt.Println()
+	segs := make([]core.LabeledSegment, segments)
+	for i := range segs {
 		series, label := stream.Next()
-		res, _, err := eng.Process(series, label)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "segment %d: %v\n", i, err)
-			os.Exit(1)
-		}
-		if verbose {
+		segs[i] = core.LabeledSegment{Values: series, Label: label}
+	}
+	results, err := core.RunOnlineSegments(context.Background(), eng, segs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if verbose {
+		for i, res := range results {
 			fmt.Printf("seg %4d  codec=%-10s lossy=%-5v ratio=%.3f reward=%.3f loss=%.3f\n",
 				i, res.Codec, res.Lossy, res.Ratio, res.Reward, res.AccuracyLoss)
 		}

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 )
 
 // Encoded is a compressed representation of one segment. It is
@@ -80,7 +81,15 @@ var (
 )
 
 // Registry holds the codec candidate set C the bandit selects from.
+//
+// Concurrency contract: lookups are read-mostly and guarded by an RWMutex,
+// so any number of goroutines (parallel codec-trial workers, transport
+// receivers) may Lookup/Names/Decompress concurrently, including alongside
+// a late Register. Codec instances themselves must be stateless across
+// calls — every implementation in this package is — since one instance
+// serves all workers.
 type Registry struct {
+	mu     sync.RWMutex
 	codecs map[string]Codec
 	order  []string
 }
@@ -94,6 +103,8 @@ func NewRegistry() *Registry {
 // candidate set is assembled once at startup and a duplicate indicates a
 // programming error.
 func (r *Registry) Register(c Codec) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if _, dup := r.codecs[c.Name()]; dup {
 		panic(fmt.Sprintf("compress: duplicate codec %q", c.Name()))
 	}
@@ -103,12 +114,16 @@ func (r *Registry) Register(c Codec) {
 
 // Lookup returns the codec registered under name.
 func (r *Registry) Lookup(name string) (Codec, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	c, ok := r.codecs[name]
 	return c, ok
 }
 
 // Names returns registered codec names in registration order.
 func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	out := make([]string, len(r.order))
 	copy(out, r.order)
 	return out
@@ -117,6 +132,8 @@ func (r *Registry) Names() []string {
 // Lossless returns the names of all lossless codecs, sorted by
 // registration order.
 func (r *Registry) Lossless() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	var out []string
 	for _, n := range r.order {
 		if _, lossy := r.codecs[n].(LossyCodec); !lossy {
@@ -128,6 +145,8 @@ func (r *Registry) Lossless() []string {
 
 // Lossy returns the names of all lossy codecs.
 func (r *Registry) Lossy() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
 	var out []string
 	for _, n := range r.order {
 		if _, lossy := r.codecs[n].(LossyCodec); lossy {
@@ -137,9 +156,10 @@ func (r *Registry) Lossy() []string {
 	return out
 }
 
-// Decompress dispatches to the codec recorded in enc.
+// Decompress dispatches to the codec recorded in enc. The codec runs
+// outside the registry lock.
 func (r *Registry) Decompress(enc Encoded) ([]float64, error) {
-	c, ok := r.codecs[enc.Codec]
+	c, ok := r.Lookup(enc.Codec)
 	if !ok {
 		return nil, fmt.Errorf("compress: unknown codec %q", enc.Codec)
 	}

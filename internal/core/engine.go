@@ -85,6 +85,16 @@ type Config struct {
 	// exhausted the offline engine refuses further ingestion with
 	// ErrEnergyExhausted. 0 meters without enforcing.
 	EnergyBudgetJoules float64
+	// Workers sizes the parallel codec-trial pool. 1 (the default) keeps
+	// the fully sequential path; set runtime.GOMAXPROCS(0) to fan codec
+	// trials out across cores. Online, OnlineParallel/RunOnlineSegments
+	// prepare speculative trials on Workers goroutines while a single
+	// sequencer makes every bandit decision in arrival order; offline,
+	// recode candidate trials fan out per victim. Because codec trials are
+	// pure functions of the segment bytes and all decisions stay
+	// serialized, any Workers value produces results identical to
+	// Workers: 1 for the same seed (see DESIGN.md §7).
+	Workers int
 	// Seed drives all stochastic components.
 	Seed int64
 }
@@ -123,6 +133,9 @@ func (c Config) withDefaults(online bool) Config {
 	}
 	if c.LosslessProbeInterval == 0 {
 		c.LosslessProbeInterval = 50
+	}
+	if c.Workers < 1 {
+		c.Workers = 1
 	}
 	return c
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/bandit"
@@ -18,6 +19,13 @@ import (
 // crosses the recoding threshold θ, the least-recently-used segments are
 // recoded to roughly half their size, with a per-ratio-range bandit pool
 // choosing the lossy codec that best preserves the workload target.
+//
+// Concurrency contract: Ingest (and Query/QuerySegment, which reorder the
+// recoding policy) must run on a single goroutine at a time. Stats,
+// Snapshot, Clock, Storage and Energy are safe to poll concurrently with
+// ingestion. With Config.Workers > 1 the recoder fans each victim's
+// candidate codec trials out across goroutines internally; decisions stay
+// serialized, so results are identical to Workers: 1 (see DESIGN.md §7).
 type OfflineEngine struct {
 	cfg  Config
 	reg  *compress.Registry
@@ -34,11 +42,15 @@ type OfflineEngine struct {
 
 	nextID       uint64
 	recodeBudget float64 // virtual seconds available to the recoder
-	accLoss      accLossCache
 	energy       *EnergyMeter
 	costFn       func(op, codec string, points int) float64
 
-	stats OfflineStats
+	// statsMu guards stats and accLoss so Stats/Snapshot can be polled
+	// while another goroutine (e.g. an OfflineRunner worker) ingests.
+	// Ingest itself stays single-goroutine; see the type comment.
+	statsMu sync.Mutex
+	accLoss accLossCache
+	stats   OfflineStats
 }
 
 // OfflineStats aggregates engine-level outcomes.
@@ -130,8 +142,29 @@ func (e *OfflineEngine) Clock() *sim.Clock { return e.clock }
 // Storage exposes the storage budget.
 func (e *OfflineEngine) Storage() *sim.Storage { return e.storage }
 
-// Stats returns a copy of the engine statistics.
-func (e *OfflineEngine) Stats() OfflineStats { return e.stats }
+// Stats returns a copy of the engine statistics. Safe to call while
+// another goroutine ingests; the returned use maps are private copies.
+func (e *OfflineEngine) Stats() OfflineStats {
+	e.statsMu.Lock()
+	defer e.statsMu.Unlock()
+	out := e.stats
+	out.LosslessUse = make(map[string]int, len(e.stats.LosslessUse))
+	for k, v := range e.stats.LosslessUse {
+		out.LosslessUse[k] = v
+	}
+	out.LossyUse = make(map[string]int, len(e.stats.LossyUse))
+	for k, v := range e.stats.LossyUse {
+		out.LossyUse[k] = v
+	}
+	return out
+}
+
+// mutStats applies one statistics mutation under the stats lock.
+func (e *OfflineEngine) mutStats(fn func(*OfflineStats)) {
+	e.statsMu.Lock()
+	fn(&e.stats)
+	e.statsMu.Unlock()
+}
 
 // Ingest compresses and stores one segment, recoding older segments as
 // needed to stay inside the budget. It returns sim.ErrBudgetExceeded when
@@ -148,7 +181,7 @@ func (e *OfflineEngine) Ingest(values []float64, label int) error {
 	if e.cfg.RecodeBudget {
 		e.recodeBudget += float64(len(values)) / e.cfg.IngestRate
 	}
-	e.stats.SegmentsIngested++
+	e.mutStats(func(s *OfflineStats) { s.SegmentsIngested++ })
 
 	id := e.nextID
 	e.nextID++
@@ -163,7 +196,7 @@ func (e *OfflineEngine) Ingest(values []float64, label int) error {
 		return err
 	}
 	e.losslessMAB.Update(arm, 1-minf(enc.Ratio(), 1))
-	e.stats.LosslessUse[name]++
+	e.mutStats(func(s *OfflineStats) { s.LosslessUse[name]++ })
 	e.energy.Charge(e.costFn("encode", name, len(values)))
 
 	end := e.clock.Seconds()
@@ -209,7 +242,7 @@ func (e *OfflineEngine) makeRoom(need int64) error {
 // CPU budget.
 func (e *OfflineEngine) recodeOne() bool {
 	if e.cfg.RecodeBudget && e.recodeBudget <= 0 {
-		e.stats.RecodeSkips++
+		e.mutStats(func(s *OfflineStats) { s.RecodeSkips++ })
 		return false
 	}
 	tried := 0
@@ -280,12 +313,28 @@ func (e *OfflineEngine) recodeEntry(victim *store.Entry) (bool, error) {
 	virtual := false
 	switch {
 	case anyAllowed:
+		// With Workers > 1, trial every allowed arm concurrently before the
+		// bandit commits. Trials are pure, the selection below ignores
+		// them, and only the chosen arm's trial is consumed, so outcomes
+		// and energy accounting match the sequential path exactly; the
+		// speculation bounds recode latency by the slowest single trial
+		// instead of the chosen one and overlaps the decode with probes.
+		var spec map[int]recodeTrial
+		if e.cfg.Workers > 1 {
+			var dec []float64
+			spec, dec = e.speculateRecodeTrials(victim, allowed, target, values)
+			if values == nil && dec != nil {
+				values = dec
+			}
+		}
 		arm := mab.Select(allowed)
 		codecName = e.lossyNames[arm]
 		c, _ := e.reg.Lookup(codecName)
 		lc := c.(compress.LossyCodec)
 		var err error
-		if rec, ok := lc.(compress.Recoder); ok && victim.Enc.Codec == codecName {
+		if t, ok := spec[arm]; ok {
+			newEnc, err, virtual = t.enc, t.err, t.virtual
+		} else if rec, ok := lc.(compress.Recoder); ok && victim.Enc.Codec == codecName {
 			// Virtual decompression: same-codec direct recode (§IV-E).
 			newEnc, err = rec.Recode(victim.Enc, target)
 			virtual = true
@@ -312,7 +361,7 @@ func (e *OfflineEngine) recodeEntry(victim *store.Entry) (bool, error) {
 		}
 		mab.Update(arm, reward)
 		e.finishRecode(victim, newEnc, oldSize, accLoss, virtual, e.recodeCost(start, victim.Enc.Codec, codecName, victim.Enc.N, virtual))
-		e.stats.LossyUse[codecName]++
+		e.mutStats(func(s *OfflineStats) { s.LossyUse[codecName]++ })
 		return true, nil
 
 	default:
@@ -348,10 +397,90 @@ func (e *OfflineEngine) recodeEntry(victim *store.Entry) (bool, error) {
 			return false, err
 		}
 		e.finishRecode(victim, newEnc, oldSize, accLoss, virtual, e.recodeCost(start, victim.Enc.Codec, lc.Name(), victim.Enc.N, virtual))
-		e.stats.Fallbacks++
-		e.stats.LossyUse[lc.Name()]++
+		e.mutStats(func(s *OfflineStats) {
+			s.Fallbacks++
+			s.LossyUse[lc.Name()]++
+		})
 		return true, nil
 	}
+}
+
+// recodeTrial is one speculative recode candidate: the encoding an arm
+// would commit, or the error it would hit.
+type recodeTrial struct {
+	enc     compress.Encoded
+	err     error
+	virtual bool
+}
+
+// speculateRecodeTrials concurrently computes every allowed arm's recode
+// candidate for victim at target, bounded by Config.Workers goroutines.
+// Arms whose codec matches the stored representation use the virtual
+// §IV-E path; the rest share a single decode of the stored bytes (returned
+// so the caller can reuse it). A decode failure surfaces as each dependent
+// arm's trial error — exactly where the sequential path would hit it.
+func (e *OfflineEngine) speculateRecodeTrials(victim *store.Entry, allowed []bool, target float64, cached []float64) (map[int]recodeTrial, []float64) {
+	var armIdx []int
+	needDecode := false
+	for i, name := range e.lossyNames {
+		if !allowed[i] {
+			continue
+		}
+		armIdx = append(armIdx, i)
+		c, _ := e.reg.Lookup(name)
+		if _, ok := c.(compress.Recoder); !ok || victim.Enc.Codec != name {
+			needDecode = true
+		}
+	}
+	if len(armIdx) == 0 {
+		return nil, nil
+	}
+	decoded := cached
+	var decodeErr error
+	if needDecode && decoded == nil {
+		decoded, decodeErr = e.reg.Decompress(victim.Enc)
+	}
+	trials := make([]recodeTrial, len(e.lossyNames))
+	workers := e.cfg.Workers
+	if workers > len(armIdx) {
+		workers = len(armIdx)
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				name := e.lossyNames[i]
+				c, _ := e.reg.Lookup(name)
+				lc := c.(compress.LossyCodec)
+				switch rec, ok := lc.(compress.Recoder); {
+				case ok && victim.Enc.Codec == name:
+					enc, err := rec.Recode(victim.Enc, target)
+					trials[i] = recodeTrial{enc: enc, err: err, virtual: true}
+				case decodeErr != nil:
+					trials[i] = recodeTrial{err: decodeErr}
+				default:
+					enc, err := lc.CompressRatio(decoded, target)
+					trials[i] = recodeTrial{enc: enc, err: err}
+				}
+			}
+		}()
+	}
+	for _, i := range armIdx {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	out := make(map[int]recodeTrial, len(armIdx))
+	for _, i := range armIdx {
+		out[i] = trials[i]
+	}
+	if decodeErr != nil {
+		decoded = nil
+	}
+	return out, decoded
 }
 
 // scoreRecode evaluates the recoded representation against the ground
@@ -405,10 +534,12 @@ func (e *OfflineEngine) finishRecode(victim *store.Entry, newEnc compress.Encode
 	victim.Level++
 	e.pool.Touch(victim.ID)
 	e.setAccLoss(victim.ID, accLoss)
-	e.stats.Recodes++
-	if virtual {
-		e.stats.VirtualRecodes++
-	}
+	e.mutStats(func(s *OfflineStats) {
+		s.Recodes++
+		if virtual {
+			s.VirtualRecodes++
+		}
+	})
 	if e.cfg.RecodeBudget {
 		e.recodeBudget -= cost * e.cfg.CPUScale
 	}
@@ -418,6 +549,8 @@ func (e *OfflineEngine) finishRecode(victim *store.Entry, newEnc compress.Encode
 type accLossCache map[uint64]float64
 
 func (e *OfflineEngine) setAccLoss(id uint64, loss float64) {
+	e.statsMu.Lock()
+	defer e.statsMu.Unlock()
 	if e.accLoss == nil {
 		e.accLoss = make(accLossCache)
 	}
@@ -431,9 +564,11 @@ func (e *OfflineEngine) Snapshot() Snapshot {
 	e.pool.Each(func(entry *store.Entry) { ids = append(ids, entry.ID) })
 	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
 	var sum float64
+	e.statsMu.Lock()
 	for _, id := range ids {
 		sum += e.accLoss[id]
 	}
+	e.statsMu.Unlock()
 	n := len(ids)
 	mean := 0.0
 	if n > 0 {

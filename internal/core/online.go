@@ -2,6 +2,8 @@ package core
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/bandit"
@@ -15,6 +17,14 @@ import (
 // compression ratio R = B/(64×I). Lossless compression is preferred; when
 // R is infeasible losslessly, a dedicated lossy-selection bandit takes
 // over, optimizing the workload target.
+//
+// Concurrency contract: Process and ProcessPrepared mutate bandit and
+// accounting state and must be called from a single goroutine at a time
+// (the "decision goroutine"). PrepareSegment is read-only and safe to call
+// from any number of goroutines concurrently with the decision goroutine —
+// that split is what OnlineParallel exploits. Stats, LossyEstimates and
+// LosslessEstimates may be polled concurrently with processing.
+// Retarget/RetargetRatio must not race with in-flight processing.
 type OnlineEngine struct {
 	cfg         Config
 	reg         *compress.Registry
@@ -26,15 +36,18 @@ type OnlineEngine struct {
 	losslessMAB   bandit.Policy
 	lossyMAB      bandit.Policy
 
-	nextID         uint64
-	losslessFails  int
-	sinceProbe     int
-	losslessViable bool
+	nextID        uint64
+	losslessFails int
+	sinceProbe    int
+	// losslessViable is written by the decision goroutine and read by
+	// PrepareSegment workers as a prediction hint, hence atomic.
+	losslessViable atomic.Bool
 
 	energy *EnergyMeter
 	costFn func(op, codec string, points int) float64
 
-	stats OnlineStats
+	statsMu sync.Mutex
+	stats   OnlineStats
 }
 
 // OnlineStats aggregates stream-level outcomes.
@@ -89,14 +102,14 @@ func NewOnlineEngine(cfg Config) (*OnlineEngine, error) {
 		target = 1
 	}
 	e := &OnlineEngine{
-		cfg:            cfg,
-		reg:            cfg.Registry,
-		eval:           eval,
-		targetRatio:    target,
-		losslessNames:  armNames(cfg.LosslessArms, cfg.Registry.Lossless()),
-		lossyNames:     armNames(cfg.LossyArms, cfg.Registry.Lossy()),
-		losslessViable: true,
+		cfg:           cfg,
+		reg:           cfg.Registry,
+		eval:          eval,
+		targetRatio:   target,
+		losslessNames: armNames(cfg.LosslessArms, cfg.Registry.Lossless()),
+		lossyNames:    armNames(cfg.LossyArms, cfg.Registry.Lossy()),
 	}
+	e.losslessViable.Store(true)
 	e.losslessMAB = newPolicy(cfg, len(e.losslessNames), 101)
 	e.lossyMAB = newPolicy(cfg, len(e.lossyNames), 202)
 	e.stats.CodecUse = make(map[string]int)
@@ -128,7 +141,7 @@ func (e *OnlineEngine) Retarget(bw sim.Bandwidth) {
 		target = 1
 	}
 	e.targetRatio = target
-	e.losslessViable = true
+	e.losslessViable.Store(true)
 	e.losslessFails = 0
 	e.sinceProbe = 0
 }
@@ -142,13 +155,27 @@ func (e *OnlineEngine) RetargetRatio(ratio float64) {
 		return
 	}
 	e.targetRatio = ratio
-	e.losslessViable = true
+	e.losslessViable.Store(true)
 	e.losslessFails = 0
 	e.sinceProbe = 0
 }
 
-// Stats returns a copy of the stream statistics.
-func (e *OnlineEngine) Stats() OnlineStats { return e.stats }
+// Workers returns the configured codec-trial parallelism.
+func (e *OnlineEngine) Workers() int { return e.cfg.Workers }
+
+// Stats returns a copy of the stream statistics. Safe to call while
+// another goroutine is processing segments; the returned CodecUse map is
+// a private copy.
+func (e *OnlineEngine) Stats() OnlineStats {
+	e.statsMu.Lock()
+	defer e.statsMu.Unlock()
+	out := e.stats
+	out.CodecUse = make(map[string]int, len(e.stats.CodecUse))
+	for k, v := range e.stats.CodecUse {
+		out.CodecUse[k] = v
+	}
+	return out
+}
 
 // ratioSlack tolerates rounding in codec size targeting.
 const ratioSlack = 1e-9
@@ -157,6 +184,36 @@ const ratioSlack = 1e-9
 // §IV-C) and returns the outcome. The caller transmits Result-associated
 // bytes; the engine only accounts for them.
 func (e *OnlineEngine) Process(values []float64, label int) (Result, compress.Encoded, error) {
+	return e.process(values, nil)
+}
+
+// ProcessPrepared is Process consuming speculative codec trials computed
+// by PrepareSegment, typically on another goroutine. Decisions (bandit
+// selection, rewards, energy, stats) are made here, in call order, exactly
+// as Process would make them; cached trials only shortcut the pure codec
+// work, so the outcome is identical to Process on the same values. Trials
+// prepared under a stale target ratio are discarded and recomputed inline.
+func (e *OnlineEngine) ProcessPrepared(prep *PreparedSegment) (Result, compress.Encoded, error) {
+	if prep == nil {
+		return Result{}, compress.Encoded{}, compress.ErrEmptyInput
+	}
+	if prep.target != e.targetRatio {
+		// Retarget happened after preparation: lossy trials assumed the
+		// old ratio. Lossless trials and MinRatio probes are
+		// target-independent and stay valid.
+		prep = &PreparedSegment{
+			values:    prep.values,
+			label:     prep.label,
+			target:    e.targetRatio,
+			lossless:  prep.lossless,
+			minRatios: prep.minRatios,
+		}
+	}
+	return e.process(prep.values, prep)
+}
+
+// process is the shared decision path. prep may be nil (fully inline).
+func (e *OnlineEngine) process(values []float64, prep *PreparedSegment) (Result, compress.Encoded, error) {
 	if len(values) == 0 {
 		return Result{}, compress.Encoded{}, compress.ErrEmptyInput
 	}
@@ -169,7 +226,7 @@ func (e *OnlineEngine) Process(values []float64, label int) (Result, compress.En
 	// Phase 1: lossless, preferred whenever it can meet R (paper: "We
 	// choose the best lossless compression by default").
 	if e.tryLossless() {
-		res, enc, ok := e.processLossless(id, values)
+		res, enc, ok := e.processLossless(id, values, prep)
 		if ok {
 			e.account(res)
 			return res, enc, nil
@@ -177,7 +234,7 @@ func (e *OnlineEngine) Process(values []float64, label int) (Result, compress.En
 	}
 
 	// Phase 2: lossy selection toward the target ratio.
-	res, enc, err := e.processLossy(id, values)
+	res, enc, err := e.processLossy(id, values, prep)
 	if err != nil {
 		return Result{}, compress.Encoded{}, err
 	}
@@ -193,7 +250,7 @@ func (e *OnlineEngine) tryLossless() bool {
 	if e.targetRatio >= 1 {
 		return true
 	}
-	if e.losslessViable {
+	if e.losslessViable.Load() {
 		return true
 	}
 	e.sinceProbe++
@@ -208,7 +265,7 @@ func (e *OnlineEngine) tryLossless() bool {
 // Infeasibility is a property of the *best* lossless codec, not of one
 // exploratory pick, so on a miss the engine retries the remaining arms
 // before concluding the segment cannot be handled losslessly.
-func (e *OnlineEngine) processLossless(id uint64, values []float64) (Result, compress.Encoded, bool) {
+func (e *OnlineEngine) processLossless(id uint64, values []float64, prep *PreparedSegment) (Result, compress.Encoded, bool) {
 	allowed := make([]bool, len(e.losslessNames))
 	for i := range allowed {
 		allowed[i] = true
@@ -220,17 +277,18 @@ func (e *OnlineEngine) processLossless(id uint64, values []float64) (Result, com
 		}
 		allowed[arm] = false
 		name := e.losslessNames[arm]
-		codec, _ := e.reg.Lookup(name)
 		// Every attempt costs energy, including ones the target rejects.
 		e.energy.Charge(e.costFn("encode", name, len(values)))
-		start := time.Now()
-		enc, err := codec.Compress(values)
-		dur := time.Since(start)
-		if err != nil {
+		t, ok := prep.losslessTrial(arm)
+		if !ok {
+			codec, _ := e.reg.Lookup(name)
+			t = runLosslessTrial(codec, values)
+		}
+		if t.err != nil {
 			e.losslessMAB.Update(arm, 0)
 			continue
 		}
-		ratio := enc.Ratio()
+		ratio := t.enc.Ratio()
 		// Lossless selection optimizes compressed size regardless of the
 		// workload target: task accuracy is unaffected (paper §IV-C1).
 		e.losslessMAB.Update(arm, 1-minf(ratio, 1))
@@ -238,26 +296,32 @@ func (e *OnlineEngine) processLossless(id uint64, values []float64) (Result, com
 			continue
 		}
 		e.losslessFails = 0
-		e.losslessViable = true
+		e.losslessViable.Store(true)
 		return Result{
 			SegmentID: id, Codec: name, Lossy: false, Ratio: ratio,
-			Reward: 1 - minf(ratio, 1), Duration: dur,
-		}, enc, true
+			Reward: 1 - minf(ratio, 1), Duration: t.dur,
+		}, t.enc, true
 	}
 	e.losslessFails++
 	if e.losslessFails >= 2 {
-		e.losslessViable = false
+		e.losslessViable.Store(false)
 	}
 	return Result{}, compress.Encoded{}, false
 }
 
-func (e *OnlineEngine) processLossy(id uint64, values []float64) (Result, compress.Encoded, error) {
+func (e *OnlineEngine) processLossy(id uint64, values []float64, prep *PreparedSegment) (Result, compress.Encoded, error) {
 	allowed := make([]bool, len(e.lossyNames))
 	feasible := false
+	minRatios := prep.minRatioProbes()
 	for i, name := range e.lossyNames {
-		c, _ := e.reg.Lookup(name)
-		lc := c.(compress.LossyCodec)
-		if lc.MinRatio(values) <= e.targetRatio {
+		mr := 0.0
+		if minRatios != nil {
+			mr = minRatios[i]
+		} else {
+			c, _ := e.reg.Lookup(name)
+			mr = c.(compress.LossyCodec).MinRatio(values)
+		}
+		if mr <= e.targetRatio {
 			allowed[i] = true
 			feasible = true
 		}
@@ -267,32 +331,71 @@ func (e *OnlineEngine) processLossy(id uint64, values []float64) (Result, compre
 	}
 	arm := e.lossyMAB.Select(allowed)
 	name := e.lossyNames[arm]
-	codec, _ := e.reg.Lookup(name)
-	lc := codec.(compress.LossyCodec)
 	e.energy.Charge(e.costFn("encode", name, len(values)))
 
-	start := time.Now()
-	enc, err := lc.CompressRatio(values, e.targetRatio)
-	dur := time.Since(start)
-	if err != nil {
-		e.lossyMAB.Update(arm, 0)
-		return Result{}, compress.Encoded{}, fmt.Errorf("core: %s at ratio %.3f: %w", name, e.targetRatio, err)
+	t, ok := prep.lossyTrialFor(arm)
+	if !ok {
+		codec, _ := e.reg.Lookup(name)
+		t = runLossyTrial(codec.(compress.LossyCodec), values, e.targetRatio)
 	}
-	decoded, err := lc.Decompress(enc)
-	if err != nil {
+	if t.err != nil {
 		e.lossyMAB.Update(arm, 0)
-		return Result{}, compress.Encoded{}, err
+		return Result{}, compress.Encoded{}, fmt.Errorf("core: %s at ratio %.3f: %w", name, e.targetRatio, t.err)
 	}
-	obs := Observation{Raw: values, Decoded: decoded, CompressedBytes: enc.Size(), Duration: dur}
+	if t.decErr != nil {
+		e.lossyMAB.Update(arm, 0)
+		return Result{}, compress.Encoded{}, t.decErr
+	}
+	obs := Observation{Raw: values, Decoded: t.decoded, CompressedBytes: t.enc.Size(), Duration: t.dur}
 	reward := e.eval.Reward(obs)
 	e.lossyMAB.Update(arm, reward)
 	return Result{
-		SegmentID: id, Codec: name, Lossy: true, Ratio: enc.Ratio(),
-		Reward: reward, AccuracyLoss: e.eval.AccuracyLoss(obs), Duration: dur,
-	}, enc, nil
+		SegmentID: id, Codec: name, Lossy: true, Ratio: t.enc.Ratio(),
+		Reward: reward, AccuracyLoss: e.eval.AccuracyLoss(obs), Duration: t.dur,
+	}, t.enc, nil
+}
+
+// losslessTrial is the outcome of one pure lossless codec attempt.
+type losslessTrial struct {
+	enc compress.Encoded
+	err error
+	dur time.Duration
+}
+
+// runLosslessTrial compresses values with one codec. Pure: no engine
+// state is read or written, so it can run on any goroutine.
+func runLosslessTrial(codec compress.Codec, values []float64) losslessTrial {
+	start := time.Now()
+	enc, err := codec.Compress(values)
+	return losslessTrial{enc: enc, err: err, dur: time.Since(start)}
+}
+
+// lossyTrial is the outcome of one pure lossy codec attempt at a target
+// ratio, including the decode needed for reward evaluation.
+type lossyTrial struct {
+	enc     compress.Encoded
+	err     error
+	decoded []float64
+	decErr  error
+	dur     time.Duration
+}
+
+// runLossyTrial compresses values toward ratio and decodes the result.
+// Pure, like runLosslessTrial.
+func runLossyTrial(lc compress.LossyCodec, values []float64, ratio float64) lossyTrial {
+	start := time.Now()
+	enc, err := lc.CompressRatio(values, ratio)
+	dur := time.Since(start)
+	if err != nil {
+		return lossyTrial{err: err, dur: dur}
+	}
+	decoded, decErr := lc.Decompress(enc)
+	return lossyTrial{enc: enc, decoded: decoded, decErr: decErr, dur: dur}
 }
 
 func (e *OnlineEngine) account(res Result) {
+	e.statsMu.Lock()
+	defer e.statsMu.Unlock()
 	e.stats.Segments++
 	if res.Lossy {
 		e.stats.LossySegments++

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro/internal/datasets"
+	"repro/internal/query"
+)
+
+// Regression tests for data races latent in the pre-parallel code and
+// surfaced by this PR's -race sweep. The seed's Stats() returned struct
+// copies whose maps (CodecUse, LosslessUse, LossyUse) were the engine's
+// live maps, so any monitor polling stats while segments flowed raced
+// with the accounting writes. Same story for the offline accLoss cache
+// read by Snapshot(). Stats now deep-copies under a mutex; these tests
+// fail under -race against the old code.
+
+// TestOnlineStatsPollRace polls Stats and both estimate maps from monitor
+// goroutines while the engine processes segments.
+func TestOnlineStatsPollRace(t *testing.T) {
+	eng, err := NewOnlineEngine(Config{
+		TargetRatioOverride: 0.2,
+		Objective:           SingleTarget(TargetRatio),
+		Seed:                31,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				st := eng.Stats()
+				for name := range st.CodecUse {
+					_ = name
+				}
+				_ = eng.LossyEstimates()
+				_ = eng.LosslessEstimates()
+			}
+		}()
+	}
+	stream := datasets.NewCBFStream(datasets.CBFConfig{Seed: 98})
+	for i := 0; i < 150; i++ {
+		v, label := stream.Next()
+		if _, _, err := eng.Process(v, label); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if got := eng.Stats().Segments; got != 150 {
+		t.Fatalf("Segments = %d, want 150", got)
+	}
+}
+
+// TestOnlineStatsSnapshotIsolated proves the returned stats are a snapshot:
+// mutating the copy's map must not leak into the engine.
+func TestOnlineStatsSnapshotIsolated(t *testing.T) {
+	eng, err := NewOnlineEngine(Config{
+		TargetRatioOverride: 1,
+		Objective:           SingleTarget(TargetRatio),
+		Seed:                37,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := datasets.NewCBFStream(datasets.CBFConfig{Seed: 99})
+	for i := 0; i < 20; i++ {
+		v, label := stream.Next()
+		if _, _, err := eng.Process(v, label); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := eng.Stats()
+	for name := range st.CodecUse {
+		st.CodecUse[name] = -1000
+	}
+	st.CodecUse["bogus"] = 1
+	var sum int
+	for _, n := range eng.Stats().CodecUse {
+		sum += n
+	}
+	if sum != 20 {
+		t.Fatalf("engine stats corrupted through returned copy: codec-use sum = %d, want 20", sum)
+	}
+}
+
+// TestOfflineStatsPollRace runs an OfflineRunner (the engine's real
+// concurrent client: the paper's collector thread) while monitors poll
+// Stats and Snapshot, the exact interleaving that raced on the shared
+// LosslessUse/LossyUse maps and the accLoss cache.
+func TestOfflineStatsPollRace(t *testing.T) {
+	eng, err := NewOfflineEngine(Config{
+		StorageBytes: 20 << 10,
+		Objective:    AggTarget(query.Sum),
+		Seed:         41,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner := NewOfflineRunner(eng, CollectorConfig{SegmentLength: 128})
+	runner.Start(context.Background())
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				st := eng.Stats()
+				for name := range st.LosslessUse {
+					_ = name
+				}
+				for name := range st.LossyUse {
+					_ = name
+				}
+				_ = eng.Snapshot()
+			}
+		}()
+	}
+	stream := datasets.NewCBFStream(datasets.CBFConfig{Seed: 100})
+	for i := 0; i < 100; i++ {
+		v, _ := stream.Next()
+		runner.Push(v)
+	}
+	if err := runner.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+	if got := eng.Stats().SegmentsIngested; got != 100 {
+		t.Fatalf("SegmentsIngested = %d, want 100", got)
+	}
+}
