@@ -1,0 +1,53 @@
+# Local developer entry points, kept in lockstep with .github/workflows/ci.yml
+# so a green `make ci` locally means a green CI run.
+
+GO      ?= go
+BIN     := $(CURDIR)/bin
+VETTOOL := $(BIN)/adaedge-lint
+
+# Per-target fuzz time for the smoke pass (CI uses the same value).
+FUZZTIME ?= 20s
+
+.PHONY: all build vet lint test race fuzz-smoke ci clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+# lint builds the adaedge-lint vettool (internal/lint: codecpurity,
+# nopanicdecode, lockdiscipline, seqdeterminism) and runs it over the tree
+# exactly as the adaedge-lint CI job does.
+lint: $(VETTOOL)
+	$(GO) vet -vettool=$(VETTOOL) ./...
+
+$(VETTOOL): FORCE
+	@mkdir -p $(BIN)
+	$(GO) build -o $(VETTOOL) ./cmd/adaedge-lint
+
+FORCE:
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# fuzz-smoke mirrors the CI fuzz job: every Fuzz* target in the
+# decoder-facing packages gets $(FUZZTIME) of fuzzing.
+fuzz-smoke:
+	@for pkg in ./internal/compress ./internal/transport; do \
+		targets=$$($(GO) test -list '^Fuzz' $$pkg | grep '^Fuzz'); \
+		for t in $$targets; do \
+			echo "--- $$pkg $$t"; \
+			$(GO) test -run "^$$t$$" -fuzz "^$$t$$" -fuzztime $(FUZZTIME) $$pkg || exit 1; \
+		done; \
+	done
+
+ci: build vet lint race
+
+clean:
+	rm -rf $(BIN)

@@ -1,0 +1,24 @@
+// Command adaedge-lint is the AdaEdge custom vettool: a
+// golang.org/x/tools/go/analysis unitchecker bundling the analyzers that
+// enforce the DESIGN.md §7 invariants (codec purity, panic-free decoders,
+// lock discipline on guarded fields, sequencer-only stochastic decisions).
+//
+// It is meant to be driven by go vet, which handles package loading and
+// export data:
+//
+//	go build -o bin/adaedge-lint ./cmd/adaedge-lint
+//	go vet -vettool=$(pwd)/bin/adaedge-lint ./...
+//
+// or simply `make lint`. See internal/lint for the individual analyzers
+// and their flags.
+package main
+
+import (
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	unitchecker.Main(lint.Analyzers...)
+}

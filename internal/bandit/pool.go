@@ -11,8 +11,8 @@ type Pool struct {
 	arms   int
 	cfg    Config
 	make   func(arms int, cfg Config) Policy
-	bounds []float64 // descending range boundaries, e.g. [0.5, 0.25, 0.125]
-	pols   map[int]Policy
+	bounds []float64      // descending range boundaries, e.g. [0.5, 0.25, 0.125]
+	pols   map[int]Policy // guarded by mu
 }
 
 // DefaultRatioBounds are the range boundaries used by the offline engine:

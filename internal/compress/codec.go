@@ -90,8 +90,8 @@ var (
 // serves all workers.
 type Registry struct {
 	mu     sync.RWMutex
-	codecs map[string]Codec
-	order  []string
+	codecs map[string]Codec // guarded by mu
+	order  []string         // guarded by mu
 }
 
 // NewRegistry returns an empty registry.

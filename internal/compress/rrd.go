@@ -81,12 +81,16 @@ func (r *RRDSample) Decompress(enc Encoded) ([]float64, error) {
 	}
 	data := enc.Data
 	count, c := binary.Uvarint(data)
-	if c <= 0 {
+	// Bound count before it sizes the output: with both count and window
+	// attacker-controlled, a tiny payload could otherwise pass the
+	// samples-vs-expect consistency check yet demand a count-sized
+	// allocation.
+	if c <= 0 || count == 0 || count > maxDecodePoints {
 		return nil, ErrCorrupt
 	}
 	data = data[c:]
 	window, c := binary.Uvarint(data)
-	if c <= 0 || window == 0 {
+	if c <= 0 || window == 0 || window > maxDecodePoints {
 		return nil, ErrCorrupt
 	}
 	data = data[c:]
@@ -118,12 +122,12 @@ func (r *RRDSample) Recode(enc Encoded, ratio float64) (Encoded, error) {
 	}
 	data := enc.Data
 	count, c := binary.Uvarint(data)
-	if c <= 0 {
+	if c <= 0 || count == 0 || count > maxDecodePoints {
 		return Encoded{}, ErrCorrupt
 	}
 	data = data[c:]
 	window, c := binary.Uvarint(data)
-	if c <= 0 || window == 0 {
+	if c <= 0 || window == 0 || window > maxDecodePoints {
 		return Encoded{}, ErrCorrupt
 	}
 	data = data[c:]

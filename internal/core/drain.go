@@ -35,6 +35,7 @@ type DrainReport struct {
 func (e *OfflineEngine) Drain(bw sim.Bandwidth, seconds float64) DrainReport {
 	budget := int64(float64(bw) * seconds)
 	var report DrainReport
+	var sentIDs []uint64
 
 	// Snapshot candidates oldest-first (ascending id = ingest order).
 	var candidates []*store.Entry
@@ -55,7 +56,16 @@ func (e *OfflineEngine) Drain(bw sim.Bandwidth, seconds float64) DrainReport {
 		report.Sent = append(report.Sent, sent)
 		e.pool.Remove(en.ID)
 		e.storage.Free(size)
-		delete(e.accLoss, en.ID)
+		sentIDs = append(sentIDs, en.ID)
+	}
+	// accLoss is shared with concurrent Stats/Snapshot pollers; evict the
+	// transmitted segments' cached losses under the lock.
+	if len(sentIDs) > 0 {
+		e.statsMu.Lock()
+		for _, id := range sentIDs {
+			delete(e.accLoss, id)
+		}
+		e.statsMu.Unlock()
 	}
 	report.SegmentsLeft = e.pool.Len()
 	report.BytesLeft = e.pool.TotalBytes()

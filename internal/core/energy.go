@@ -20,7 +20,7 @@ type EnergyMeter struct {
 	mu     sync.Mutex
 	watts  float64
 	budget float64 // 0 = unlimited
-	used   float64
+	used   float64 // guarded by mu
 }
 
 // NewEnergyMeter builds a meter for a device drawing watts under an

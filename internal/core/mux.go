@@ -15,8 +15,8 @@ import (
 type Mux struct {
 	mu      sync.Mutex
 	cfg     Config
-	engines map[string]*OnlineEngine
-	nextIdx int64
+	engines map[string]*OnlineEngine // guarded by mu
+	nextIdx int64                    // guarded by mu
 }
 
 // NewMux builds a router; cfg is the template for every per-signal engine.

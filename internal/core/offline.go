@@ -49,8 +49,8 @@ type OfflineEngine struct {
 	// while another goroutine (e.g. an OfflineRunner worker) ingests.
 	// Ingest itself stays single-goroutine; see the type comment.
 	statsMu sync.Mutex
-	accLoss accLossCache
-	stats   OfflineStats
+	accLoss accLossCache // guarded by statsMu
+	stats   OfflineStats // guarded by statsMu
 }
 
 // OfflineStats aggregates engine-level outcomes.
@@ -106,6 +106,10 @@ func NewOfflineEngine(cfg Config) (*OfflineEngine, error) {
 		storage:       sim.NewStorage(cfg.StorageBytes, cfg.StorageThreshold),
 		pool:          store.NewPool(cfg.Policy),
 		clock:         sim.NewClock(cfg.IngestRate),
+		stats: OfflineStats{
+			LosslessUse: make(map[string]int),
+			LossyUse:    make(map[string]int),
+		},
 	}
 	e.losslessMAB = newPolicy(cfg, len(e.losslessNames), 303)
 	factory := func(arms int, bc bandit.Config) bandit.Policy {
@@ -121,8 +125,6 @@ func NewOfflineEngine(cfg Config) (*OfflineEngine, error) {
 		bounds = []float64{} // one bucket: the ablation configuration
 	}
 	e.lossyPool = bandit.NewPool(len(e.lossyNames), bc, bounds, factory)
-	e.stats.LosslessUse = make(map[string]int)
-	e.stats.LossyUse = make(map[string]int)
 	e.costFn = cfg.CodecCost
 	if e.costFn == nil {
 		e.costFn = DefaultCodecCost

@@ -47,7 +47,7 @@ type OnlineEngine struct {
 	costFn func(op, codec string, points int) float64
 
 	statsMu sync.Mutex
-	stats   OnlineStats
+	stats   OnlineStats // guarded by statsMu
 }
 
 // OnlineStats aggregates stream-level outcomes.
@@ -108,11 +108,11 @@ func NewOnlineEngine(cfg Config) (*OnlineEngine, error) {
 		targetRatio:   target,
 		losslessNames: armNames(cfg.LosslessArms, cfg.Registry.Lossless()),
 		lossyNames:    armNames(cfg.LossyArms, cfg.Registry.Lossy()),
+		stats:         OnlineStats{CodecUse: make(map[string]int)},
 	}
 	e.losslessViable.Store(true)
 	e.losslessMAB = newPolicy(cfg, len(e.losslessNames), 101)
 	e.lossyMAB = newPolicy(cfg, len(e.lossyNames), 202)
-	e.stats.CodecUse = make(map[string]int)
 	e.costFn = cfg.CodecCost
 	if e.costFn == nil {
 		e.costFn = DefaultCodecCost

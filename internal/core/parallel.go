@@ -200,7 +200,7 @@ type OnlineParallel struct {
 	started  bool
 
 	mu   sync.Mutex
-	errs []error
+	errs []error // guarded by mu
 }
 
 // NewOnlineParallel builds a pipeline over an existing engine. workers <= 0

@@ -23,7 +23,7 @@ type Pipeline struct {
 	jobs    chan LabeledSegment
 	wg      sync.WaitGroup
 	mu      sync.Mutex
-	errs    []error
+	errs    []error // guarded by mu
 }
 
 // NewPipeline builds a pipeline of `workers` engines with per-worker

@@ -27,8 +27,8 @@ type OfflineRunner struct {
 	cancel context.CancelFunc
 
 	mu        sync.Mutex
-	processed int
-	failed    error
+	processed int   // guarded by mu
+	failed    error // guarded by mu
 }
 
 // NewOfflineRunner builds a runner over an existing engine and collector

@@ -1,0 +1,167 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+	"golang.org/x/tools/go/types/typeutil"
+)
+
+// CodecPurity enforces the DESIGN §7 precondition for parallel codec
+// trials: codecs are pure functions of their input. Inside the configured
+// packages it forbids
+//
+//   - reading clocks or timers (time.Now, time.Since, time.Sleep, ...),
+//   - any use of math/rand, math/rand/v2, os, net, net/http or io/ioutil,
+//   - writes to package-level state outside init functions.
+//
+// A codec that needs randomness must take a seed; one that needs the
+// current time must take a timestamp. Both belong to the caller.
+var CodecPurity = &analysis.Analyzer{
+	Name:     "codecpurity",
+	Doc:      "forbid clocks, RNG, I/O and global writes inside pure codec packages",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runCodecPurity,
+}
+
+// codecPurityPkgs is the set of packages that must stay pure. The default
+// covers the codec substrate; override with -codecpurity.pure-pkgs.
+var codecPurityPkgs = pkgList{
+	"repro/internal/compress",
+	"repro/internal/bitio",
+	"repro/internal/dsp",
+}
+
+func init() {
+	CodecPurity.Flags.Var(&codecPurityPkgs, "pure-pkgs",
+		"comma-separated import paths of packages that must stay pure")
+}
+
+// impurePkgs are packages whose every reference is impure in codec context.
+var impurePkgs = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+	"os":           true,
+	"io/ioutil":    true,
+	"net":          true,
+	"net/http":     true,
+}
+
+// clockFuncs are the time package functions that read or depend on the
+// wall clock or timers. Pure uses of package time (time.Duration
+// arithmetic, constants) stay legal.
+var clockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"Tick":      true,
+	"After":     true,
+	"AfterFunc": true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+func runCodecPurity(pass *analysis.Pass) (interface{}, error) {
+	if !codecPurityPkgs.match(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	nodeFilter := []ast.Node{
+		(*ast.SelectorExpr)(nil),
+		(*ast.AssignStmt)(nil),
+		(*ast.IncDecStmt)(nil),
+	}
+	ins.WithStack(nodeFilter, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push || isTestFile(pass, n) {
+			return false
+		}
+		switch node := n.(type) {
+		case *ast.SelectorExpr:
+			checkImpureRef(pass, node)
+		case *ast.AssignStmt:
+			if inInitFunc(stack) {
+				return true
+			}
+			for _, lhs := range node.Lhs {
+				checkGlobalWrite(pass, lhs)
+			}
+		case *ast.IncDecStmt:
+			if !inInitFunc(stack) {
+				checkGlobalWrite(pass, node.X)
+			}
+		}
+		return true
+	})
+	return nil, nil
+}
+
+// checkImpureRef reports selector expressions that reach into a forbidden
+// package or call a clock function.
+func checkImpureRef(pass *analysis.Pass, sel *ast.SelectorExpr) {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return
+	}
+	pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+	if !ok {
+		return
+	}
+	path := pn.Imported().Path()
+	switch {
+	case impurePkgs[path]:
+		pass.Reportf(sel.Pos(), "codecpurity: use of %s.%s in pure codec package %s (codecs must be pure functions; see DESIGN.md §7)",
+			path, sel.Sel.Name, pass.Pkg.Path())
+	case path == "time" && clockFuncs[sel.Sel.Name]:
+		pass.Reportf(sel.Pos(), "codecpurity: clock access time.%s in pure codec package %s (take timestamps as arguments instead)",
+			sel.Sel.Name, pass.Pkg.Path())
+	}
+}
+
+// checkGlobalWrite reports assignments whose target resolves to a
+// package-level variable.
+func checkGlobalWrite(pass *analysis.Pass, lhs ast.Expr) {
+	id := baseIdent(lhs)
+	if id == nil || id.Name == "_" {
+		return
+	}
+	obj, ok := pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok {
+		if obj2, ok2 := pass.TypesInfo.Defs[id].(*types.Var); ok2 {
+			obj = obj2
+		} else {
+			return
+		}
+	}
+	if obj.Parent() == nil || obj.Pkg() == nil {
+		return
+	}
+	if obj.Parent() != obj.Pkg().Scope() {
+		return // local variable, parameter or field
+	}
+	pass.Reportf(lhs.Pos(), "codecpurity: write to package-level variable %s in pure codec package (codec state must live in instances; see DESIGN.md §7)",
+		obj.Name())
+}
+
+// inInitFunc reports whether the innermost enclosing function declaration
+// is a package init function.
+func inInitFunc(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if fd, ok := stack[i].(*ast.FuncDecl); ok {
+			return fd.Recv == nil && fd.Name.Name == "init"
+		}
+	}
+	return false
+}
+
+// calleeFunc resolves the called function or method — including interface
+// method calls, which matters for bandit.Policy — or nil for builtins and
+// dynamic function values.
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	fn, _ := typeutil.Callee(pass.TypesInfo, call).(*types.Func)
+	return fn
+}

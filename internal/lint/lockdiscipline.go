@@ -1,0 +1,167 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// LockDiscipline enforces the "guarded by <mu>" annotations introduced
+// with PR 1's race-clean engines. A struct field whose doc or line comment
+// contains "guarded by <name>" — where <name> is a sibling sync.Mutex or
+// sync.RWMutex field — may only be read or written when the lock is held.
+//
+// Holding the lock is established lexically, per enclosing function: a
+// call to <name>.Lock() or <name>.RLock() must appear before the access.
+// Two escape hatches keep the rule practical: functions whose name ends in
+// "Locked" (the caller holds the lock by contract) are exempt, as are
+// composite-literal keys (constructors initialize before the value is
+// shared). The check is intra-procedural and lexical by design — it is a
+// CI tripwire for the common mistake (adding a fast-path read that skips
+// the mutex), not a full may-happen-in-parallel analysis; the -race test
+// job remains the backstop.
+var LockDiscipline = &analysis.Analyzer{
+	Name:     "lockdiscipline",
+	Doc:      "require annotated guarded fields to be accessed with their mutex held",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runLockDiscipline,
+}
+
+var guardedByRe = regexp.MustCompile(`[Gg]uarded by (\w+)`)
+
+func runLockDiscipline(pass *analysis.Pass) (interface{}, error) {
+	// guards maps a guarded field object to the name of its mutex field.
+	guards := map[types.Object]string{}
+
+	for _, file := range nonTestFiles(pass) {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mu := guardAnnotation(field)
+				if mu == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if obj := pass.TypesInfo.Defs[name]; obj != nil {
+						guards[obj] = mu
+					}
+				}
+			}
+			return true
+		})
+	}
+	if len(guards) == 0 {
+		return nil, nil
+	}
+
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+	ins.WithStack([]ast.Node{(*ast.Ident)(nil)}, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push {
+			return false
+		}
+		id := n.(*ast.Ident)
+		obj := pass.TypesInfo.Uses[id]
+		if obj == nil {
+			return false
+		}
+		mu, guarded := guards[obj]
+		if !guarded || isTestFile(pass, id) {
+			return false
+		}
+		if isCompositeLitKey(stack) {
+			return false
+		}
+		fd := enclosingFuncDecl(stack)
+		if fd == nil {
+			return false
+		}
+		if rxLockedName.MatchString(fd.Name.Name) {
+			return false
+		}
+		if !lockHeldBefore(fd.Body, mu, id.Pos()) {
+			pass.Reportf(id.Pos(), "lockdiscipline: access to %s (guarded by %s) in %s without %s.Lock or %s.RLock held; see DESIGN.md §7",
+				id.Name, mu, fd.Name.Name, mu, mu)
+		}
+		return false
+	})
+	return nil, nil
+}
+
+// rxLockedName matches function names that promise the caller holds the
+// lock, e.g. drainLocked or statsSnapshotLocked.
+var rxLockedName = regexp.MustCompile(`Locked$`)
+
+// guardAnnotation extracts the mutex name from a field's doc or trailing
+// comment, or "" when unannotated.
+func guardAnnotation(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardedByRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// isCompositeLitKey reports whether the innermost use is the key of a
+// composite-literal element (struct construction).
+func isCompositeLitKey(stack []ast.Node) bool {
+	if len(stack) < 3 {
+		return false
+	}
+	kv, ok := stack[len(stack)-2].(*ast.KeyValueExpr)
+	if !ok || kv.Key != stack[len(stack)-1] {
+		return false
+	}
+	_, ok = stack[len(stack)-3].(*ast.CompositeLit)
+	return ok
+}
+
+// enclosingFuncDecl returns the innermost FuncDecl on the stack.
+func enclosingFuncDecl(stack []ast.Node) *ast.FuncDecl {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if fd, ok := stack[i].(*ast.FuncDecl); ok {
+			return fd
+		}
+	}
+	return nil
+}
+
+// lockHeldBefore reports whether a call to <mu>.Lock() or <mu>.RLock()
+// appears in body at a position before pos.
+func lockHeldBefore(body *ast.BlockStmt, mu string, pos token.Pos) bool {
+	held := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if held || (n != nil && n.Pos() >= pos) {
+			return !held
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		// The receiver chain must end in the mutex field name: r.mu.Lock,
+		// e.stats.mu.Lock, or plain mu.Lock for package-level mutexes.
+		switch recv := sel.X.(type) {
+		case *ast.Ident:
+			held = recv.Name == mu
+		case *ast.SelectorExpr:
+			held = recv.Sel.Name == mu
+		}
+		return !held
+	})
+	return held
+}

@@ -1,0 +1,357 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// NoPanicDecode enforces the decoder robustness contract: decompression
+// runs on attacker-reachable bytes (transport receive path, persisted
+// segments), so malformed input must surface as a returned error, never as
+// a crash. Within every function reachable from a Decode/Decompress entry
+// point in the configured packages it reports
+//
+//  1. panic calls,
+//  2. discarded error returns (a call whose final error result is dropped
+//     by an expression statement or assigned to _), and
+//  3. allocations or slice operations sized by a length decoded from the
+//     input (encoding/binary varint/fixed-int reads, bitio reads) that is
+//     never bounds-checked first.
+//
+// The length check is a lexical heuristic: a decoded value is "validated"
+// once it appears in a comparison, so the standard pattern
+//
+//	n, k := binary.Uvarint(data)
+//	if k <= 0 || n > maxDecodePoints { return nil, ErrCorrupt }
+//	out := make([]float64, 0, n)
+//
+// passes, while a make/index/slice on a raw decoded length is flagged.
+var NoPanicDecode = &analysis.Analyzer{
+	Name: "nopanicdecode",
+	Doc:  "forbid panics, dropped errors and unvalidated lengths on decode paths",
+	Run:  runNoPanicDecode,
+}
+
+// noPanicPkgs is the set of packages whose decode paths are checked.
+var noPanicPkgs = pkgList{
+	"repro/internal/compress",
+	"repro/internal/bitio",
+	"repro/internal/transport",
+}
+
+// lengthSourcePkgs are packages whose integer-returning calls count as
+// decoded-from-input length sources.
+var lengthSourcePkgs = pkgList{
+	"encoding/binary",
+	"repro/internal/bitio",
+}
+
+func init() {
+	NoPanicDecode.Flags.Var(&noPanicPkgs, "decode-pkgs",
+		"comma-separated import paths whose decode paths are checked")
+	NoPanicDecode.Flags.Var(&lengthSourcePkgs, "length-source-pkgs",
+		"comma-separated import paths whose calls yield attacker-controlled lengths")
+}
+
+// decodeEntryRe matches the names of decode-path entry points. Recv is
+// included for the transport framing reader, which parses
+// attacker-controlled bytes off the wire.
+var decodeEntryRe = regexp.MustCompile(`(?i)(decode|decompress|uncompress|unmarshal|recv)`)
+
+func runNoPanicDecode(pass *analysis.Pass) (interface{}, error) {
+	if !noPanicPkgs.match(pass.Pkg.Path()) {
+		return nil, nil
+	}
+
+	// Collect every function declaration and the same-package functions it
+	// statically calls, then take the transitive closure from the decode
+	// entry points so helpers like snappyCopy or readCount are covered.
+	type declInfo struct {
+		decl  *ast.FuncDecl
+		calls []*types.Func
+	}
+	decls := map[*types.Func]*declInfo{}
+	for _, file := range nonTestFiles(pass) {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			info := &declInfo{decl: fd}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if callee := calleeFunc(pass, call); callee != nil && callee.Pkg() == pass.Pkg {
+					info.calls = append(info.calls, callee)
+				}
+				return true
+			})
+			decls[fn] = info
+		}
+	}
+
+	checked := map[*types.Func]bool{}
+	var queue []*types.Func
+	for fn := range decls {
+		if decodeEntryRe.MatchString(fn.Name()) {
+			checked[fn] = true
+			queue = append(queue, fn)
+		}
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		for _, callee := range decls[fn].calls {
+			if !checked[callee] {
+				if _, local := decls[callee]; local {
+					checked[callee] = true
+					queue = append(queue, callee)
+				}
+			}
+		}
+	}
+
+	for fn := range checked {
+		checkDecodeFunc(pass, fn, decls[fn].decl)
+	}
+	return nil, nil
+}
+
+func checkDecodeFunc(pass *analysis.Pass, fn *types.Func, fd *ast.FuncDecl) {
+	// taintedAt records, per object, the position at which it became an
+	// unvalidated decoded length; validation removes the entry.
+	taintedAt := map[types.Object]token.Pos{}
+
+	taint := func(e ast.Expr, pos token.Pos) {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+				taintedAt[obj] = pos
+			}
+		}
+	}
+	// exprTainted reports whether any identifier inside e is currently
+	// tainted; comparisons and calls act as validation points below.
+	exprTainted := func(e ast.Expr) types.Object {
+		var hit types.Object
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && hit == nil {
+				if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+					if _, ok := taintedAt[obj]; ok {
+						hit = obj
+					}
+				}
+			}
+			return hit == nil
+		})
+		return hit
+	}
+	sanitize := func(e ast.Expr) {
+		ast.Inspect(e, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := pass.TypesInfo.ObjectOf(id); obj != nil {
+					delete(taintedAt, obj)
+				}
+			}
+			return true
+		})
+	}
+
+	// The traversal below relies on ast.Inspect visiting statements of a
+	// block in source order, so "validated before use" reduces to
+	// "sanitized at an earlier node".
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := node.Fun.(*ast.Ident); ok && id.Name == "panic" && isBuiltin(pass, id) {
+				pass.Reportf(node.Pos(), "nopanicdecode: panic on decode path %s (return an error for malformed input; see DESIGN.md §7)", fn.Name())
+			}
+		case *ast.ExprStmt:
+			if call, ok := node.X.(*ast.CallExpr); ok && callReturnsError(pass, call) {
+				pass.Reportf(node.Pos(), "nopanicdecode: error result of %s discarded on decode path %s", callName(pass, call), fn.Name())
+			}
+		case *ast.AssignStmt:
+			// Dropped error via blank assignment.
+			if len(node.Rhs) == 1 {
+				if call, ok := node.Rhs[0].(*ast.CallExpr); ok && callReturnsError(pass, call) {
+					if id, ok := node.Lhs[len(node.Lhs)-1].(*ast.Ident); ok && id.Name == "_" {
+						pass.Reportf(node.Pos(), "nopanicdecode: error result of %s assigned to _ on decode path %s", callName(pass, call), fn.Name())
+					}
+				}
+			}
+			// Length taint: LHS idents fed (directly or through arithmetic
+			// and conversions) by a length-source call, or by an already
+			// tainted value, become tainted.
+			for i, lhs := range node.Lhs {
+				var rhs ast.Expr
+				if len(node.Rhs) == len(node.Lhs) {
+					rhs = node.Rhs[i]
+				} else if len(node.Rhs) == 1 {
+					rhs = node.Rhs[0]
+				}
+				if rhs == nil {
+					continue
+				}
+				if !isIntegerish(pass, lhs) {
+					continue
+				}
+				if hasLengthSource(pass, rhs) || exprTainted(rhs) != nil {
+					taint(lhs, node.Pos())
+				} else {
+					sanitize(lhs) // reassigned from a clean value
+				}
+			}
+		case *ast.IfStmt:
+			// Any comparison involving a tainted value counts as its
+			// bounds check.
+			if node.Cond != nil {
+				ast.Inspect(node.Cond, func(c ast.Node) bool {
+					if be, ok := c.(*ast.BinaryExpr); ok {
+						switch be.Op {
+						case token.LSS, token.GTR, token.LEQ, token.GEQ, token.EQL, token.NEQ:
+							sanitize(be.X)
+							sanitize(be.Y)
+						}
+					}
+					return true
+				})
+			}
+		case *ast.ForStmt:
+			if node.Cond != nil {
+				sanitize(node.Cond)
+			}
+		case *ast.SwitchStmt:
+			if node.Tag != nil {
+				sanitize(node.Tag)
+			} else {
+				// Tagless switch: case clauses are comparisons.
+				for _, clause := range node.Body.List {
+					if cc, ok := clause.(*ast.CaseClause); ok {
+						for _, e := range cc.List {
+							sanitize(e)
+						}
+					}
+				}
+			}
+		}
+		// Sinks: allocations and slice/index operations.
+		switch node := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := node.Fun.(*ast.Ident); ok && id.Name == "make" && isBuiltin(pass, id) {
+				for _, arg := range node.Args[1:] {
+					if obj := exprTainted(arg); obj != nil {
+						pass.Reportf(node.Pos(), "nopanicdecode: make sized by decoded length %q without a bounds check on decode path %s", obj.Name(), fn.Name())
+						sanitize(arg) // report once
+					}
+				}
+			}
+		case *ast.SliceExpr:
+			for _, bound := range []ast.Expr{node.Low, node.High, node.Max} {
+				if bound == nil {
+					continue
+				}
+				if obj := exprTainted(bound); obj != nil {
+					pass.Reportf(node.Pos(), "nopanicdecode: slice bound uses decoded length %q without a bounds check on decode path %s", obj.Name(), fn.Name())
+					sanitize(bound)
+				}
+			}
+		case *ast.IndexExpr:
+			if _, isSlice := pass.TypesInfo.TypeOf(node.X).Underlying().(*types.Slice); isSlice {
+				if obj := exprTainted(node.Index); obj != nil {
+					pass.Reportf(node.Pos(), "nopanicdecode: index uses decoded length %q without a bounds check on decode path %s", obj.Name(), fn.Name())
+					sanitize(node.Index)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// callReturnsError reports whether the call's final result is type error.
+func callReturnsError(pass *analysis.Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.TypesInfo.Types[call]
+	if !ok {
+		return false
+	}
+	var last types.Type
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		if t.Len() == 0 {
+			return false
+		}
+		last = t.At(t.Len() - 1).Type()
+	default:
+		last = t
+	}
+	return last != nil && types.Identical(last, types.Universe.Lookup("error").Type())
+}
+
+// callName renders a best-effort name for diagnostics.
+func callName(pass *analysis.Pass, call *ast.CallExpr) string {
+	if fn := calleeFunc(pass, call); fn != nil {
+		return fn.Name()
+	}
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		return f.Sel.Name
+	}
+	return "call"
+}
+
+// hasLengthSource reports whether e contains a call into a length-source
+// package returning integers decoded from input bytes.
+func hasLengthSource(pass *analysis.Pass, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || found {
+			return !found
+		}
+		var pkg *types.Package
+		if fn := calleeFunc(pass, call); fn != nil {
+			pkg = fn.Pkg()
+		} else if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			// Method value on e.g. binary.LittleEndian: resolve through
+			// the selection.
+			if selInfo, ok := pass.TypesInfo.Selections[sel]; ok {
+				if fn, ok := selInfo.Obj().(*types.Func); ok {
+					pkg = fn.Pkg()
+				}
+			}
+		}
+		if pkg != nil && lengthSourcePkgs.match(pkg.Path()) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isBuiltin reports whether the identifier resolves to the universe-scope
+// builtin of the same name (i.e. it is not shadowed).
+func isBuiltin(pass *analysis.Pass, id *ast.Ident) bool {
+	obj := pass.TypesInfo.Uses[id]
+	return obj == nil || obj.Parent() == types.Universe
+}
+
+// isIntegerish reports whether the expression has an integer type; only
+// integer values can act as lengths.
+func isIntegerish(pass *analysis.Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}

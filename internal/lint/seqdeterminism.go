@@ -1,0 +1,119 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// SeqDeterminism enforces the PR-1 sequencer contract (DESIGN.md §7): the
+// parallel pipeline is byte-identical to the sequential engine only
+// because every stochastic decision — RNG draws and bandit Select/Update
+// calls — happens on the single in-order sequencer goroutine. Three rules:
+//
+//  1. The global math/rand (and math/rand/v2) package-level functions are
+//     banned everywhere in non-test code: they share process-wide state
+//     seeded nondeterministically.
+//  2. RNG construction (rand.New, rand.NewSource, rand.NewPCG, ...) is
+//     allowed only in the packages listed in -rng-pkgs, which take
+//     explicit seeds as part of their API (bandit, datasets, ml).
+//  3. Calling Select or Update on a repro/internal/bandit policy is
+//     allowed only in the packages listed in -bandit-pkgs: the core
+//     sequencer, the bandit package itself, and the single-goroutine
+//     experiment harnesses.
+var SeqDeterminism = &analysis.Analyzer{
+	Name:     "seqdeterminism",
+	Doc:      "keep RNG construction and bandit decisions on the sequencer",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runSeqDeterminism,
+}
+
+// rngAllowedPkgs may construct RNGs from explicit seeds.
+var rngAllowedPkgs = pkgList{
+	"repro/internal/bandit",
+	"repro/internal/datasets",
+	"repro/internal/ml",
+}
+
+// banditAllowedPkgs may invoke bandit Select/Update. internal/experiments
+// and the runnable examples drive policies directly but strictly from a
+// single goroutine (offline figure reproduction and demos), which
+// DESIGN.md §7 documents as the sanctioned exception.
+var banditAllowedPkgs = pkgList{
+	"repro/internal/core",
+	"repro/internal/bandit",
+	"repro/internal/experiments",
+	"repro/examples",
+}
+
+// banditPkg is the package whose Select/Update methods are restricted.
+var banditPkgPath = "repro/internal/bandit"
+
+func init() {
+	SeqDeterminism.Flags.Var(&rngAllowedPkgs, "rng-pkgs",
+		"comma-separated import paths allowed to construct RNGs")
+	SeqDeterminism.Flags.Var(&banditAllowedPkgs, "bandit-pkgs",
+		"comma-separated import paths allowed to call bandit Select/Update")
+	SeqDeterminism.Flags.StringVar(&banditPkgPath, "bandit-pkg-path", banditPkgPath,
+		"import path of the bandit package whose Select/Update calls are restricted")
+}
+
+// randConstructors are the RNG-construction entry points of math/rand and
+// math/rand/v2.
+var randConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+	"NewZipf":    true,
+}
+
+func isRandPkg(path string) bool {
+	return path == "math/rand" || path == "math/rand/v2"
+}
+
+func runSeqDeterminism(pass *analysis.Pass) (interface{}, error) {
+	pkg := pass.Pkg.Path()
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	ins.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		if isTestFile(pass, call) {
+			return
+		}
+		fn := calleeFunc(pass, call)
+		if fn == nil || fn.Pkg() == nil {
+			return
+		}
+		sig, _ := fn.Type().(*types.Signature)
+
+		if isRandPkg(fn.Pkg().Path()) {
+			switch {
+			case sig != nil && sig.Recv() != nil:
+				// Methods on an already-constructed *rand.Rand are fine:
+				// determinism was decided at construction time.
+			case randConstructors[fn.Name()]:
+				if !rngAllowedPkgs.match(pkg) {
+					pass.Reportf(call.Pos(), "seqdeterminism: RNG constructed via %s.%s outside the seeded-RNG packages (%s); plumb a seeded *rand.Rand in instead — see DESIGN.md §7",
+						fn.Pkg().Path(), fn.Name(), rngAllowedPkgs.String())
+				}
+			default:
+				pass.Reportf(call.Pos(), "seqdeterminism: use of process-global %s.%s (nondeterministically seeded); use an explicitly seeded *rand.Rand — see DESIGN.md §7",
+					fn.Pkg().Path(), fn.Name())
+			}
+			return
+		}
+
+		if fn.Pkg().Path() == banditPkgPath && sig != nil && sig.Recv() != nil &&
+			(fn.Name() == "Select" || fn.Name() == "Update") {
+			if !banditAllowedPkgs.match(pkg) {
+				pass.Reportf(call.Pos(), "seqdeterminism: bandit %s called outside the sequencer packages (%s); route decisions through internal/core — see DESIGN.md §7",
+					fn.Name(), banditAllowedPkgs.String())
+			}
+		}
+	})
+	return nil, nil
+}

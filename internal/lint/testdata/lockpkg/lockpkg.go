@@ -1,0 +1,50 @@
+// Package lockpkg is a lockdiscipline fixture: a registry-shaped struct
+// with "guarded by mu" annotations, accessed with and without the lock.
+package lockpkg
+
+import "sync"
+
+type Registry struct {
+	mu    sync.RWMutex
+	items map[string]int // guarded by mu
+	order []string       // guarded by mu
+}
+
+// New initializes guarded fields through composite-literal keys, which is
+// exempt: the value is not shared yet.
+func New() *Registry {
+	return &Registry{items: make(map[string]int)}
+}
+
+// Lookup holds the read lock: legal.
+func (r *Registry) Lookup(k string) (int, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	v, ok := r.items[k]
+	return v, ok
+}
+
+// Add holds the write lock: legal.
+func (r *Registry) Add(k string, v int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.items[k] = v
+	r.order = append(r.order, k)
+}
+
+// sizeLocked documents through its name that the caller holds mu: exempt.
+func (r *Registry) sizeLocked() int { return len(r.items) }
+
+// FastLookup skips the lock — the exact mistake the analyzer exists to
+// catch.
+func (r *Registry) FastLookup(k string) int {
+	return r.items[k] // want `access to items \(guarded by mu\) in FastLookup`
+}
+
+// Reorder takes the lock too late.
+func (r *Registry) Reorder() {
+	n := len(r.order) // want `access to order \(guarded by mu\) in Reorder`
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_ = n
+}

@@ -1,0 +1,30 @@
+// Package seqpkg is a seqdeterminism fixture: RNG construction, global
+// RNG use and bandit decisions outside the sanctioned packages.
+package seqpkg
+
+import (
+	"math/rand"
+
+	"repro/internal/bandit"
+)
+
+// Choose makes bandit decisions outside the sequencer.
+func Choose(p bandit.Policy) int {
+	arm := p.Select(nil) // want `bandit Select called outside the sequencer packages`
+	p.Update(arm, 1)     // want `bandit Update called outside the sequencer packages`
+	return arm
+}
+
+// Mk constructs an RNG outside the seeded-RNG packages.
+func Mk() *rand.Rand {
+	return rand.New(rand.NewSource(1)) // want `RNG constructed via math/rand\.New ` `RNG constructed via math/rand\.NewSource`
+}
+
+// Global draws from the process-global generator: banned everywhere.
+func Global() int {
+	return rand.Int() // want `process-global math/rand\.Int `
+}
+
+// Draw uses an already-constructed generator: determinism was decided at
+// construction time, so methods on *rand.Rand are legal.
+func Draw(r *rand.Rand) int { return r.Intn(6) }

@@ -146,7 +146,7 @@ func (u *Uplink) Flush() error { return u.w.Flush() }
 // Close flushes and closes the connection.
 func (u *Uplink) Close() error {
 	if err := u.w.Flush(); err != nil {
-		u.conn.Close()
+		_ = u.conn.Close() // the flush error is the one worth reporting
 		return err
 	}
 	return u.conn.Close()
