@@ -2,7 +2,10 @@
 // online selection and ships the compressed segments over TCP to a cloud
 // collector, which decompresses them with the codec metadata carried in
 // each frame (paper §IV-B1: segments leave through a network protocol;
-// §IV-C: each segment carries its compression configuration).
+// §IV-C: each segment carries its compression configuration). Egress goes
+// through the resilient uplink: segments spool on-device and every frame
+// is retransmitted until the collector's cumulative ACK covers it, so a
+// flaky network costs retries, not data.
 //
 // Run with: go run ./examples/edge-to-cloud
 package main
@@ -47,7 +50,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	uplink, err := transport.Dial(addr.String())
+	uplink, err := transport.DialResilient(transport.ResilientConfig{
+		Addr:     addr.String(),
+		DeviceID: 1,
+		Seed:     1,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -64,6 +71,10 @@ func main() {
 			log.Fatalf("send %d: %v", i, err)
 		}
 	}
+	if err := uplink.WaitDrain(10 * time.Second); err != nil {
+		log.Fatal(err)
+	}
+	ust := uplink.Stats()
 	if err := uplink.Close(); err != nil {
 		log.Fatal(err)
 	}
@@ -81,6 +92,8 @@ func main() {
 	st := engine.Stats()
 	fmt.Printf("edge: %d segments at ratio %.3f (loss %.4f)\n",
 		st.Segments, st.OverallRatio(), st.MeanAccuracyLoss())
+	fmt.Printf("uplink: %d dials, ack watermark %d, %d retried transfers\n",
+		ust.Dials, ust.Acked, ust.SendFailures)
 	fmt.Printf("cloud: %d frames, %d points reconstructed from %.1f KB on the wire\n",
 		collector.Frames(), points, float64(bytesIn)/1024)
 	fmt.Printf("wire saving vs raw: %.1f%%\n",

@@ -1,8 +1,14 @@
 // Intermittent-link scenario (paper Fig 1, §IV-B): a mining-site gateway
-// alternates between connectivity windows and blackouts. One core.Device
-// runs the whole AdaEdge lifecycle: online selection and live egress while
-// the link is up, storage-budgeted offline recoding during blackouts, and
-// backlog draining at every reconnection.
+// alternates between connectivity windows and blackouts. The device runs
+// AdaEdge online selection and ships every segment through a
+// ResilientUplink: frames spool in a bounded on-device queue, survive
+// injected link outages and connection resets, and are retransmitted
+// until the collector's cumulative ACK covers them — at-least-once on the
+// wire, exactly-once at the cloud sink. When the blackout backlog pushes
+// the spool past its high-water mark, the pressure hook tightens the
+// engine's effective target ratio so segments get smaller instead of the
+// queue overflowing (graceful degradation), and restores it as the spool
+// drains.
 //
 // Run with: go run ./examples/intermittent-link
 package main
@@ -10,56 +16,117 @@ package main
 import (
 	"fmt"
 	"log"
+	"net"
+	"sync"
+	"time"
 
+	"repro/internal/compress"
 	"repro/internal/core"
 	"repro/internal/datasets"
 	"repro/internal/query"
 	"repro/internal/sim"
+	"repro/internal/transport"
 )
 
 func main() {
-	// The site gets 100 ms of 4G every 250 ms; the rest is blackout.
+	// Cloud side: a collector with per-device dedup.
+	reg := compress.DefaultRegistry(4)
+	var mu sync.Mutex
+	var points int
+	collector := transport.NewCollector(reg, func(f transport.Frame, values []float64) {
+		mu.Lock()
+		points += len(values)
+		mu.Unlock()
+	})
+	addr, err := collector.Serve("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer collector.Close()
+
+	// The site gets 100 ms of 4G every 250 ms; the rest is blackout. The
+	// fault plan meters virtual time by bytes written, so outages tear
+	// frames mid-write exactly where the schedule says.
 	link := sim.NewLink(
 		sim.LinkPhase{Seconds: 0.100, Bandwidth: sim.Net4G},
 		sim.LinkPhase{Seconds: 0.150, Bandwidth: 0},
 	)
-	device, err := core.NewDevice(core.Config{
-		IngestRate:   128_000, // 1 segment per millisecond
-		StorageBytes: 256 << 10,
-		Objective:    core.AggTarget(query.Sum),
-		Seed:         1,
-	}, link)
+	plan := sim.NewFaultPlan(link, 50_000, 0.01)
+
+	// Edge side: online engine plus resilient uplink, wired together by
+	// the spool-pressure → Degrade hook.
+	engine, err := core.NewOnlineEngine(core.Config{
+		TargetRatioOverride: 0.3,
+		Objective:           core.AggTarget(query.Sum),
+		Seed:                1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	var pressureEvents int
+	uplink, err := transport.DialResilient(transport.ResilientConfig{
+		Addr:          addr.String(),
+		DeviceID:      1,
+		Seed:          1,
+		SpoolSegments: 128,
+		HighWater:     0.5,
+		BackoffBase:   500 * time.Microsecond,
+		BackoffMax:    5 * time.Millisecond,
+		OnPressure: func(over bool) {
+			pressureEvents++
+			if over {
+				engine.Degrade(0.5) // spool deep: halve the effective target
+				fmt.Printf("spool over high water → effective target %.3f\n", engine.EffectiveTarget())
+			} else {
+				engine.Degrade(1) // drained: restore the configured target
+				fmt.Printf("spool drained → effective target %.3f\n", engine.EffectiveTarget())
+			}
+		},
+		Dialer: func(a string, timeout time.Duration) (net.Conn, error) {
+			return plan.Dial(func() (net.Conn, error) {
+				return net.DialTimeout("tcp", a, timeout)
+			})
+		},
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	stream := datasets.NewCBFStream(datasets.CBFConfig{Seed: 9})
-	for i := 0; i < 1000; i++ { // four full link cycles
+	shed := 0
+	const segments = 400
+	for i := 0; i < segments; i++ {
 		series, label := stream.Next()
-		if _, err := device.Ingest(series, label); err != nil {
+		res, enc, err := engine.Process(series, label)
+		if err != nil {
 			log.Fatalf("segment %d: %v", i, err)
 		}
-		if (i+1)%250 == 0 {
-			st := device.Stats()
-			fmt.Printf("t=%.3fs  online=%d offline=%d drained=%d backlog=%d\n",
-				device.Clock().Seconds(), st.OnlineSegments, st.OfflineSegments,
-				st.DrainedSegments, device.Backlog())
+		if err := uplink.Send(transport.Frame{ID: res.SegmentID, Label: label, Enc: enc}); err != nil {
+			shed++ // spool full: the bound sheds rather than blocking ingest
 		}
+		time.Sleep(500 * time.Microsecond) // sensor pacing: ~2k segments/s
+	}
+	if err := uplink.WaitDrain(30 * time.Second); err != nil {
+		log.Fatal(err)
+	}
+	st := uplink.Stats()
+	if err := uplink.Close(); err != nil {
+		log.Fatal(err)
 	}
 
-	st := device.Stats()
-	fmt.Printf("\nlink transitions: %d\n", st.Transitions)
-	fmt.Printf("live-transmitted: %d segments (%.1f KB)\n", st.OnlineSegments, float64(st.TransmittedBytes)/1024)
-	fmt.Printf("stored offline:   %d segments, %d drained on reconnects (%.1f KB)\n",
-		st.OfflineSegments, st.DrainedSegments, float64(st.DrainedBytes)/1024)
-	fmt.Printf("residual backlog: %d segments\n", device.Backlog())
-
-	// The backlog (if any) is still queryable on-device.
-	if device.Backlog() > 0 {
-		avg, err := device.Offline().Query(query.Avg)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("backlog avg: %.4f\n", avg)
+	dials, dialFails := plan.Dials()
+	resets, stalls := plan.Injected()
+	est := engine.Stats()
+	mu.Lock()
+	defer mu.Unlock()
+	fmt.Printf("\nedge: %d segments at overall ratio %.3f\n", est.Segments, est.OverallRatio())
+	fmt.Printf("uplink: ack watermark %d, %d transfers broken mid-frame and retried, %d shed\n",
+		st.Acked, st.SendFailures, shed)
+	fmt.Printf("link: %d dials (%d during blackout), %d injected resets, %d stalls, %d pressure transitions\n",
+		dials, dialFails, resets, stalls, pressureEvents)
+	fmt.Printf("cloud: %d unique frames (%d duplicate deliveries dropped), %d points reconstructed\n",
+		collector.Frames(), collector.Duplicates(), points)
+	if collector.Frames() != segments-shed {
+		log.Fatalf("exactly-once violated: %d delivered, want %d", collector.Frames(), segments-shed)
 	}
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -42,6 +43,12 @@ type OnlineEngine struct {
 	// losslessViable is written by the decision goroutine and read by
 	// PrepareSegment workers as a prediction hint, hence atomic.
 	losslessViable atomic.Bool
+	// pressureBits holds the uplink-pressure throttle in (0,1] as float64
+	// bits. The resilient uplink's spool watcher calls Degrade from its
+	// own goroutine, so the throttle must be readable at decision time
+	// without racing the decision goroutine — hence atomic rather than a
+	// field the concurrency contract would forbid touching mid-flight.
+	pressureBits atomic.Uint64
 
 	energy *EnergyMeter
 	costFn func(op, codec string, points int) float64
@@ -111,6 +118,7 @@ func NewOnlineEngine(cfg Config) (*OnlineEngine, error) {
 		stats:         OnlineStats{CodecUse: make(map[string]int)},
 	}
 	e.losslessViable.Store(true)
+	e.pressureBits.Store(math.Float64bits(1))
 	e.losslessMAB = newPolicy(cfg, len(e.losslessNames), 101)
 	e.lossyMAB = newPolicy(cfg, len(e.lossyNames), 202)
 	e.costFn = cfg.CodecCost
@@ -126,8 +134,41 @@ func NewOnlineEngine(cfg Config) (*OnlineEngine, error) {
 // Energy exposes the engine's energy meter (nil when metering is off).
 func (e *OnlineEngine) Energy() *EnergyMeter { return e.energy }
 
-// TargetRatio returns the ratio the engine compresses toward.
+// TargetRatio returns the constraint-derived ratio, before any uplink
+// pressure throttle.
 func (e *OnlineEngine) TargetRatio() float64 { return e.targetRatio }
+
+// Pressure returns the current uplink-pressure throttle in (0,1].
+func (e *OnlineEngine) Pressure() float64 {
+	return math.Float64frombits(e.pressureBits.Load())
+}
+
+// EffectiveTarget is the ratio the decision path actually compresses
+// toward: TargetRatio × Pressure, clamped to (0,1].
+func (e *OnlineEngine) EffectiveTarget() float64 {
+	t := e.targetRatio * e.Pressure()
+	if t > 1 {
+		t = 1
+	}
+	return t
+}
+
+// Degrade sets the uplink-pressure throttle: factor in (0,1) tightens
+// the effective target ratio (segments shrink so a congested or spooling
+// uplink drains instead of growing without bound), 1 restores it. Values
+// outside (0,1] restore. Unlike Retarget, Degrade is safe from any
+// goroutine — the resilient uplink calls it from its spool watcher while
+// the decision goroutine is processing.
+func (e *OnlineEngine) Degrade(factor float64) {
+	if factor <= 0 || factor > 1 {
+		factor = 1
+	}
+	old := math.Float64frombits(e.pressureBits.Swap(math.Float64bits(factor)))
+	if factor > old {
+		// A looser target may make lossless feasible again; re-probe.
+		e.losslessViable.Store(true)
+	}
+}
 
 // Retarget recomputes the target compression ratio for a new link
 // capacity — the paper's variable-bandwidth case (§IV-A2). Lossless
@@ -197,14 +238,14 @@ func (e *OnlineEngine) ProcessPrepared(prep *PreparedSegment) (Result, compress.
 	if prep == nil {
 		return Result{}, compress.Encoded{}, compress.ErrEmptyInput
 	}
-	if prep.target != e.targetRatio {
-		// Retarget happened after preparation: lossy trials assumed the
-		// old ratio. Lossless trials and MinRatio probes are
-		// target-independent and stay valid.
+	if prep.target != e.EffectiveTarget() {
+		// Retarget (or a pressure change) happened after preparation:
+		// lossy trials assumed the old ratio. Lossless trials and
+		// MinRatio probes are target-independent and stay valid.
 		prep = &PreparedSegment{
 			values:    prep.values,
 			label:     prep.label,
-			target:    e.targetRatio,
+			target:    e.EffectiveTarget(),
 			lossless:  prep.lossless,
 			minRatios: prep.minRatios,
 		}
@@ -222,11 +263,14 @@ func (e *OnlineEngine) process(values []float64, prep *PreparedSegment) (Result,
 	}
 	id := e.nextID
 	e.nextID++
+	// One consistent target per segment, even if a concurrent Degrade
+	// lands mid-decision.
+	target := e.EffectiveTarget()
 
 	// Phase 1: lossless, preferred whenever it can meet R (paper: "We
 	// choose the best lossless compression by default").
-	if e.tryLossless() {
-		res, enc, ok := e.processLossless(id, values, prep)
+	if e.tryLossless(target) {
+		res, enc, ok := e.processLossless(id, values, prep, target)
 		if ok {
 			e.account(res)
 			return res, enc, nil
@@ -234,7 +278,7 @@ func (e *OnlineEngine) process(values []float64, prep *PreparedSegment) (Result,
 	}
 
 	// Phase 2: lossy selection toward the target ratio.
-	res, enc, err := e.processLossy(id, values, prep)
+	res, enc, err := e.processLossy(id, values, prep, target)
 	if err != nil {
 		return Result{}, compress.Encoded{}, err
 	}
@@ -246,8 +290,8 @@ func (e *OnlineEngine) process(values []float64, prep *PreparedSegment) (Result,
 // segment. After repeated infeasibility the engine mostly skips the
 // attempt, re-probing periodically so it can recover if the data becomes
 // more compressible.
-func (e *OnlineEngine) tryLossless() bool {
-	if e.targetRatio >= 1 {
+func (e *OnlineEngine) tryLossless(target float64) bool {
+	if target >= 1 {
 		return true
 	}
 	if e.losslessViable.Load() {
@@ -265,7 +309,7 @@ func (e *OnlineEngine) tryLossless() bool {
 // Infeasibility is a property of the *best* lossless codec, not of one
 // exploratory pick, so on a miss the engine retries the remaining arms
 // before concluding the segment cannot be handled losslessly.
-func (e *OnlineEngine) processLossless(id uint64, values []float64, prep *PreparedSegment) (Result, compress.Encoded, bool) {
+func (e *OnlineEngine) processLossless(id uint64, values []float64, prep *PreparedSegment, target float64) (Result, compress.Encoded, bool) {
 	allowed := make([]bool, len(e.losslessNames))
 	for i := range allowed {
 		allowed[i] = true
@@ -292,7 +336,7 @@ func (e *OnlineEngine) processLossless(id uint64, values []float64, prep *Prepar
 		// Lossless selection optimizes compressed size regardless of the
 		// workload target: task accuracy is unaffected (paper §IV-C1).
 		e.losslessMAB.Update(arm, 1-minf(ratio, 1))
-		if e.targetRatio < 1 && ratio > e.targetRatio+ratioSlack {
+		if target < 1 && ratio > target+ratioSlack {
 			continue
 		}
 		e.losslessFails = 0
@@ -309,7 +353,7 @@ func (e *OnlineEngine) processLossless(id uint64, values []float64, prep *Prepar
 	return Result{}, compress.Encoded{}, false
 }
 
-func (e *OnlineEngine) processLossy(id uint64, values []float64, prep *PreparedSegment) (Result, compress.Encoded, error) {
+func (e *OnlineEngine) processLossy(id uint64, values []float64, prep *PreparedSegment, target float64) (Result, compress.Encoded, error) {
 	allowed := make([]bool, len(e.lossyNames))
 	feasible := false
 	minRatios := prep.minRatioProbes()
@@ -321,7 +365,7 @@ func (e *OnlineEngine) processLossy(id uint64, values []float64, prep *PreparedS
 			c, _ := e.reg.Lookup(name)
 			mr = c.(compress.LossyCodec).MinRatio(values)
 		}
-		if mr <= e.targetRatio {
+		if mr <= target {
 			allowed[i] = true
 			feasible = true
 		}
@@ -336,11 +380,11 @@ func (e *OnlineEngine) processLossy(id uint64, values []float64, prep *PreparedS
 	t, ok := prep.lossyTrialFor(arm)
 	if !ok {
 		codec, _ := e.reg.Lookup(name)
-		t = runLossyTrial(codec.(compress.LossyCodec), values, e.targetRatio)
+		t = runLossyTrial(codec.(compress.LossyCodec), values, target)
 	}
 	if t.err != nil {
 		e.lossyMAB.Update(arm, 0)
-		return Result{}, compress.Encoded{}, fmt.Errorf("core: %s at ratio %.3f: %w", name, e.targetRatio, t.err)
+		return Result{}, compress.Encoded{}, fmt.Errorf("core: %s at ratio %.3f: %w", name, target, t.err)
 	}
 	if t.decErr != nil {
 		e.lossyMAB.Update(arm, 0)

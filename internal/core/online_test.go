@@ -281,3 +281,62 @@ func TestOnlineBandwidthViolationTracking(t *testing.T) {
 		t.Fatal("expected bandwidth violations to be recorded")
 	}
 }
+
+// TestOnlineDegrade: the spool-pressure hook tightens the effective
+// target without touching the configured ratio, invalid factors restore
+// it, and processing keeps respecting the tightened bound.
+func TestOnlineDegrade(t *testing.T) {
+	e, err := NewOnlineEngine(Config{
+		TargetRatioOverride: 0.4,
+		Objective:           AggTarget(query.Sum),
+		Seed:                4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.EffectiveTarget(); got != 0.4 {
+		t.Fatalf("initial effective target = %v", got)
+	}
+	e.Degrade(0.5)
+	if got := e.Pressure(); got != 0.5 {
+		t.Fatalf("pressure = %v", got)
+	}
+	if got := e.EffectiveTarget(); got != 0.2 {
+		t.Fatalf("degraded effective target = %v, want 0.2", got)
+	}
+	if got := e.TargetRatio(); got != 0.4 {
+		t.Fatalf("configured ratio moved to %v", got)
+	}
+	// The stream is now held to the tightened bound.
+	results := runOnline(t, e, 30, 22)
+	for _, r := range results {
+		if r.Lossy && r.Ratio > 0.2*1.2+0.02 {
+			t.Fatalf("degraded run produced lossy segment at ratio %v", r.Ratio)
+		}
+	}
+	// Out-of-range factors mean "restore".
+	for _, bad := range []float64{0, -3, 1.5} {
+		e.Degrade(0.5)
+		e.Degrade(bad)
+		if got := e.EffectiveTarget(); got != 0.4 {
+			t.Fatalf("Degrade(%v): effective target = %v, want restored 0.4", bad, got)
+		}
+	}
+}
+
+// TestOnlineDegradeCapsAtOne: relaxing pressure can never push the
+// effective target past lossless (ratio 1).
+func TestOnlineDegradeCapsAtOne(t *testing.T) {
+	e, err := NewOnlineEngine(Config{
+		TargetRatioOverride: 0.9,
+		Objective:           AggTarget(query.Sum),
+		Seed:                4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Degrade(1)
+	if got := e.EffectiveTarget(); got > 1 {
+		t.Fatalf("effective target %v exceeds 1", got)
+	}
+}

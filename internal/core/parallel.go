@@ -90,7 +90,7 @@ const speculativeArms = 2
 // ProcessPrepared. Predictions are hints: a wrong guess never changes the
 // outcome, only where the trial is computed.
 func (e *OnlineEngine) PrepareSegment(values []float64, label int) *PreparedSegment {
-	target := e.targetRatio
+	target := e.EffectiveTarget()
 	p := &PreparedSegment{values: values, label: label, target: target}
 	if len(values) == 0 {
 		return p

@@ -1,5 +1,7 @@
 package sim
 
+import "math"
+
 // Link models a time-varying network connection: a repeating schedule of
 // phases, each with a duration (virtual seconds) and a capacity. A
 // capacity of zero means disconnected — typical for agriculture, aerospace
@@ -9,6 +11,11 @@ package sim
 type Link struct {
 	phases []LinkPhase
 	cycle  float64
+	// lastBW is the capacity of the last positive-duration phase: the
+	// only correct fallback when float rounding lands the cycle remainder
+	// at or past the cycle end. The raw last schedule entry may be a
+	// zero-duration phase that is never scheduled.
+	lastBW Bandwidth
 }
 
 // LinkPhase is one segment of a link schedule.
@@ -20,15 +27,31 @@ type LinkPhase struct {
 }
 
 // NewLink builds a link from a schedule that repeats cyclically. An empty
-// schedule yields a permanently disconnected link.
+// schedule yields a permanently disconnected link. Phases with
+// non-positive durations are ignored.
 func NewLink(phases ...LinkPhase) *Link {
 	l := &Link{phases: phases}
 	for _, p := range phases {
 		if p.Seconds > 0 {
 			l.cycle += p.Seconds
+			l.lastBW = p.Bandwidth
 		}
 	}
 	return l
+}
+
+// rem maps t onto the cycle, clamped into [0, cycle). math.Mod is exact,
+// but the clamp keeps any pathological rounding from producing a
+// remainder the phase walk cannot place.
+func (l *Link) rem(t float64) float64 {
+	if t < 0 {
+		t = 0
+	}
+	r := math.Mod(t, l.cycle)
+	if r < 0 || r >= l.cycle || math.IsNaN(r) {
+		r = 0
+	}
+	return r
 }
 
 // At returns the capacity at virtual time t.
@@ -36,10 +59,7 @@ func (l *Link) At(t float64) Bandwidth {
 	if len(l.phases) == 0 || l.cycle == 0 {
 		return 0
 	}
-	if t < 0 {
-		t = 0
-	}
-	rem := t - float64(int64(t/l.cycle))*l.cycle
+	rem := l.rem(t)
 	for _, p := range l.phases {
 		if p.Seconds <= 0 {
 			continue
@@ -49,11 +69,59 @@ func (l *Link) At(t float64) Bandwidth {
 		}
 		rem -= p.Seconds
 	}
-	return l.phases[len(l.phases)-1].Bandwidth
+	return l.lastBW
 }
 
 // Connected reports whether the link is up at virtual time t.
 func (l *Link) Connected(t float64) bool { return l.At(t) > 0 }
+
+// UpFor returns how long the link stays connected starting at virtual
+// time t: 0 when it is down at t, +Inf when the schedule never
+// disconnects. The fault injector uses this to find the byte horizon of
+// the next outage.
+func (l *Link) UpFor(t float64) float64 {
+	if len(l.phases) == 0 || l.cycle == 0 {
+		return 0
+	}
+	rem := l.rem(t)
+	idx, off := -1, 0.0
+	for i, p := range l.phases {
+		if p.Seconds <= 0 {
+			continue
+		}
+		if rem < p.Seconds {
+			idx, off = i, rem
+			break
+		}
+		rem -= p.Seconds
+	}
+	if idx < 0 {
+		// Rounding fall-through: t sits at the cycle seam, i.e. the start
+		// of the first positive-duration phase.
+		for i, p := range l.phases {
+			if p.Seconds > 0 {
+				idx = i
+				break
+			}
+		}
+	}
+	if l.phases[idx].Bandwidth <= 0 {
+		return 0
+	}
+	up := l.phases[idx].Seconds - off
+	n := len(l.phases)
+	for k := 1; k <= n; k++ {
+		p := l.phases[(idx+k)%n]
+		if p.Seconds <= 0 {
+			continue
+		}
+		if p.Bandwidth <= 0 {
+			return up
+		}
+		up += p.Seconds
+	}
+	return math.Inf(1)
+}
 
 // CycleSeconds returns the schedule period.
 func (l *Link) CycleSeconds() float64 { return l.cycle }

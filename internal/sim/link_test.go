@@ -1,6 +1,10 @@
 package sim
 
-import "testing"
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
 
 func TestLinkSchedule(t *testing.T) {
 	l := NewLink(
@@ -40,6 +44,9 @@ func TestLinkEmpty(t *testing.T) {
 	if l.At(5) != 0 || l.Connected(5) {
 		t.Fatal("empty link should be permanently down")
 	}
+	if l.UpFor(5) != 0 {
+		t.Fatal("empty link should never be up")
+	}
 }
 
 func TestLinkZeroDurationPhasesSkipped(t *testing.T) {
@@ -49,5 +56,207 @@ func TestLinkZeroDurationPhasesSkipped(t *testing.T) {
 	)
 	if got := l.At(1); got != Net2G {
 		t.Fatalf("At(1) = %v, want 2G (zero-length phase skipped)", got)
+	}
+}
+
+// sentinel marks a bandwidth that belongs only to zero-duration phases: a
+// correct At must never report it. The old fallback returned the raw last
+// schedule entry, leaking the sentinel at the float-rounding boundary
+// where the cycle remainder lands at or past the cycle end.
+const sentinel Bandwidth = 123456789
+
+// TestLinkTrailingZeroDurationFallback is the regression for the At
+// fallback bug: a trailing phase with Seconds <= 0 is skipped by the
+// phase walk yet was still returned as the fallback.
+func TestLinkTrailingZeroDurationFallback(t *testing.T) {
+	l := NewLink(
+		LinkPhase{Seconds: 0.25, Bandwidth: Net4G},
+		LinkPhase{Seconds: 0.5, Bandwidth: Net3G},
+		LinkPhase{Seconds: 0, Bandwidth: sentinel},
+		LinkPhase{Seconds: -1, Bandwidth: sentinel},
+	)
+	cycle := l.CycleSeconds()
+	if cycle != 0.75 {
+		t.Fatalf("cycle = %v", cycle)
+	}
+	// Boundary values, including multiples of the cycle and points one
+	// ulp either side of them, across many cycles so the rounding of
+	// t/cycle gets exercised.
+	ts := []float64{0, 0.1, 0.2, 0.3, cycle, 2 * cycle, 1e6 * cycle, 1e9}
+	for k := 1; k < 2000; k++ {
+		b := float64(k) * cycle
+		ts = append(ts, b, math.Nextafter(b, 0), math.Nextafter(b, math.Inf(1)))
+	}
+	for _, tt := range ts {
+		got := l.At(tt)
+		if got == sentinel {
+			t.Fatalf("At(%v) leaked the zero-duration phase's bandwidth", tt)
+		}
+		if got != Net4G && got != Net3G {
+			t.Fatalf("At(%v) = %v, not a scheduled bandwidth", tt, got)
+		}
+	}
+}
+
+// TestLinkBoundaryTable pins exact boundary semantics: a phase owns
+// [start, end).
+func TestLinkBoundaryTable(t *testing.T) {
+	l := NewLink(
+		LinkPhase{Seconds: 1, Bandwidth: Net4G},
+		LinkPhase{Seconds: 0, Bandwidth: sentinel},
+		LinkPhase{Seconds: 2, Bandwidth: 0},
+		LinkPhase{Seconds: 1, Bandwidth: Net3G},
+	)
+	cases := []struct {
+		t    float64
+		want Bandwidth
+	}{
+		{0, Net4G},
+		{math.Nextafter(1, 0), Net4G},
+		{1, 0},
+		{math.Nextafter(3, 0), 0},
+		{3, Net3G},
+		{math.Nextafter(4, 0), Net3G},
+		{4, Net4G}, // wraps
+		{8, Net4G},
+		{-0.5, Net4G},
+	}
+	for _, c := range cases {
+		if got := l.At(c.t); got != c.want {
+			t.Errorf("At(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+}
+
+// refAt is an independent reference: expand the positive-duration phases
+// into cumulative boundaries and scan.
+func refAt(phases []LinkPhase, t float64) Bandwidth {
+	var ends []float64
+	var bws []Bandwidth
+	cum := 0.0
+	for _, p := range phases {
+		if p.Seconds <= 0 {
+			continue
+		}
+		cum += p.Seconds
+		ends = append(ends, cum)
+		bws = append(bws, p.Bandwidth)
+	}
+	if len(ends) == 0 {
+		return 0
+	}
+	if t < 0 {
+		t = 0
+	}
+	rem := math.Mod(t, cum)
+	if rem < 0 || rem >= cum {
+		rem = 0
+	}
+	for i, end := range ends {
+		if rem < end {
+			return bws[i]
+		}
+	}
+	return bws[len(bws)-1]
+}
+
+// TestLinkAtMatchesReference is the property test: for random schedules
+// (zero-duration phases included), At agrees with the reference scan away
+// from phase boundaries, and never reports a zero-duration phase's
+// bandwidth anywhere.
+func TestLinkAtMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(6)
+		phases := make([]LinkPhase, n)
+		scheduled := map[Bandwidth]bool{}
+		anyPositive := false
+		for i := range phases {
+			if rng.Float64() < 0.3 {
+				phases[i] = LinkPhase{Seconds: 0, Bandwidth: sentinel}
+				continue
+			}
+			bw := Bandwidth(1 + rng.Intn(5))
+			phases[i] = LinkPhase{Seconds: 0.01 + 10*rng.Float64(), Bandwidth: bw}
+			scheduled[bw] = true
+			anyPositive = true
+		}
+		l := NewLink(phases...)
+		if !anyPositive {
+			if l.At(rng.Float64()*100) != 0 {
+				t.Fatalf("trial %d: all-zero schedule must be down", trial)
+			}
+			continue
+		}
+		cycle := l.CycleSeconds()
+		for probe := 0; probe < 200; probe++ {
+			tt := (rng.Float64()*6 - 1) * cycle
+			got := l.At(tt)
+			if got == sentinel {
+				t.Fatalf("trial %d: At(%v) leaked a zero-duration bandwidth", trial, tt)
+			}
+			if !scheduled[got] {
+				t.Fatalf("trial %d: At(%v) = %v is not scheduled", trial, tt, got)
+			}
+			// Compare against the reference away from boundaries, where
+			// the two implementations' rounding can legitimately differ.
+			if nearBoundary(phases, cycle, tt) {
+				continue
+			}
+			if want := refAt(phases, tt); got != want {
+				t.Fatalf("trial %d: At(%v) = %v, reference %v (phases %+v)", trial, tt, got, want, phases)
+			}
+		}
+	}
+}
+
+func nearBoundary(phases []LinkPhase, cycle, t float64) bool {
+	if t < 0 {
+		t = 0
+	}
+	rem := math.Mod(t, cycle)
+	const eps = 1e-6
+	if rem < eps || cycle-rem < eps {
+		return true
+	}
+	cum := 0.0
+	for _, p := range phases {
+		if p.Seconds <= 0 {
+			continue
+		}
+		cum += p.Seconds
+		if math.Abs(rem-cum) < eps {
+			return true
+		}
+	}
+	return false
+}
+
+func TestLinkUpFor(t *testing.T) {
+	l := NewLink(
+		LinkPhase{Seconds: 10, Bandwidth: Net4G},
+		LinkPhase{Seconds: 5, Bandwidth: 0},
+		LinkPhase{Seconds: 5, Bandwidth: Net3G},
+	)
+	cases := []struct {
+		t    float64
+		want float64
+	}{
+		{0, 10},
+		{4, 6},
+		{10, 0},  // down
+		{12, 0},  // down
+		{15, 15}, // 5s of 3G + wrap into 10s of 4G
+		{18, 12},
+		{35, 15}, // second cycle
+	}
+	for _, c := range cases {
+		if got := l.UpFor(c.t); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("UpFor(%v) = %v, want %v", c.t, got, c.want)
+		}
+	}
+	alwaysUp := NewLink(LinkPhase{Seconds: 3, Bandwidth: Net4G})
+	if got := alwaysUp.UpFor(1); !math.IsInf(got, 1) {
+		t.Fatalf("always-up link UpFor = %v, want +Inf", got)
 	}
 }

@@ -1,0 +1,182 @@
+package store
+
+import (
+	"errors"
+	"sync"
+)
+
+// Spool is the bounded store-and-forward queue behind the resilient
+// uplink: segments awaiting acknowledgement from the collector, in
+// segment-id order. Append is the at-least-once half of the delivery
+// contract — an entry stays spooled (and is retransmitted on every
+// reconnect) until the collector's cumulative ACK covers it.
+//
+// The spool is bounded in both segments and bytes; when full, Append
+// fails and the caller sheds (an unbounded queue on a device with a dead
+// link is just a slow crash). Crossing the high-water mark up or down
+// fires the pressure callback, which the uplink wires to the online
+// engine's Degrade hook so the bandit tightens its effective bandwidth
+// target instead of letting the backlog grow unboundedly.
+type Spool struct {
+	maxSegments int
+	maxBytes    int64
+	highWater   float64
+	onPressure  func(over bool)
+
+	mu      sync.Mutex
+	entries []*Entry // pending, ascending ID; guarded by mu
+	bytes   int64    // sum of entry payload sizes; guarded by mu
+	over    bool     // high-water state; guarded by mu
+	acked   uint64   // all IDs < acked are confirmed delivered; guarded by mu
+	dropped int      // Append rejections; guarded by mu
+}
+
+// ErrSpoolFull is returned by Append when the spool bound is reached.
+var ErrSpoolFull = errors.New("store: spool full")
+
+// NewSpool builds a spool bounded by maxSegments entries and maxBytes
+// payload bytes (either 0 disables that bound; both 0 selects 4096
+// segments). highWater in (0,1) sets the pressure mark as a fraction of
+// the tighter bound; outside that range it defaults to 0.75. onPressure
+// (may be nil) is called outside the spool lock whenever utilization
+// crosses the mark, with over reporting the new state.
+func NewSpool(maxSegments int, maxBytes int64, highWater float64, onPressure func(over bool)) *Spool {
+	if maxSegments <= 0 && maxBytes <= 0 {
+		maxSegments = 4096
+	}
+	if highWater <= 0 || highWater >= 1 {
+		highWater = 0.75
+	}
+	return &Spool{
+		maxSegments: maxSegments,
+		maxBytes:    maxBytes,
+		highWater:   highWater,
+		onPressure:  onPressure,
+	}
+}
+
+// utilizationLocked returns the tighter of the segment and byte
+// utilizations.
+func (s *Spool) utilizationLocked() float64 {
+	var u float64
+	if s.maxSegments > 0 {
+		u = float64(len(s.entries)) / float64(s.maxSegments)
+	}
+	if s.maxBytes > 0 {
+		if b := float64(s.bytes) / float64(s.maxBytes); b > u {
+			u = b
+		}
+	}
+	return u
+}
+
+// pressureLocked recomputes the high-water state and returns a callback
+// to run after the lock is released (nil when the state did not change).
+func (s *Spool) pressureLocked() func() {
+	over := s.utilizationLocked() >= s.highWater
+	if over == s.over || s.onPressure == nil {
+		s.over = over
+		return nil
+	}
+	s.over = over
+	fn := s.onPressure
+	return func() { fn(over) }
+}
+
+// Append spools one entry. Entries must arrive in ascending ID order
+// (the device's segment counter guarantees this).
+func (s *Spool) Append(e *Entry) error {
+	s.mu.Lock()
+	if (s.maxSegments > 0 && len(s.entries) >= s.maxSegments) ||
+		(s.maxBytes > 0 && s.bytes+int64(e.Enc.Size()) > s.maxBytes) {
+		s.dropped++
+		s.mu.Unlock()
+		return ErrSpoolFull
+	}
+	s.entries = append(s.entries, e)
+	s.bytes += int64(e.Enc.Size())
+	notify := s.pressureLocked()
+	s.mu.Unlock()
+	if notify != nil {
+		notify()
+	}
+	return nil
+}
+
+// Head returns the oldest unacknowledged entry without removing it.
+func (s *Spool) Head() (*Entry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.entries) == 0 {
+		return nil, false
+	}
+	return s.entries[0], true
+}
+
+// AckBelow drops every entry with ID < next (the collector's cumulative
+// acknowledgement: all IDs below next were delivered) and returns how
+// many entries it released.
+func (s *Spool) AckBelow(next uint64) int {
+	s.mu.Lock()
+	n := 0
+	for n < len(s.entries) && s.entries[n].ID < next {
+		s.bytes -= int64(s.entries[n].Enc.Size())
+		n++
+	}
+	if n > 0 {
+		s.entries = append([]*Entry(nil), s.entries[n:]...)
+	}
+	if next > s.acked {
+		s.acked = next
+	}
+	notify := s.pressureLocked()
+	s.mu.Unlock()
+	if notify != nil {
+		notify()
+	}
+	return n
+}
+
+// Acked returns the cumulative acknowledgement watermark: all IDs below
+// it are confirmed delivered.
+func (s *Spool) Acked() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.acked
+}
+
+// Len returns the number of pending entries.
+func (s *Spool) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Bytes returns the pending payload bytes.
+func (s *Spool) Bytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes
+}
+
+// Dropped returns how many Append calls were rejected by the bound.
+func (s *Spool) Dropped() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dropped
+}
+
+// Utilization returns the tighter of the segment and byte utilizations
+// in [0,1+].
+func (s *Spool) Utilization() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.utilizationLocked()
+}
+
+// OverHighWater reports whether the spool is past the pressure mark.
+func (s *Spool) OverHighWater() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.over
+}

@@ -1,0 +1,135 @@
+package transport
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/compress"
+	"repro/internal/sim"
+)
+
+// chaosRun pushes frames through a ResilientUplink whose dialer and
+// connections are faulted by a sim.FaultPlan, against a live Collector.
+// It returns the delivery trace (every dial/send/ack/backoff event, in
+// pump order) and what the sink received.
+//
+// The trace deliberately excludes BadConns-style collector internals and
+// fail-event error text tied to OS-level close/reset races; everything it
+// does include is a pure function of (seed, fault schedule, traffic).
+func chaosRun(t *testing.T, seed int64, frames []Frame) (trace []string, payloads map[uint64][]byte, counts map[uint64]int) {
+	t.Helper()
+	reg := compress.DefaultRegistry(4)
+	payloads = map[uint64][]byte{}
+	counts = map[uint64]int{}
+	var sinkMu sync.Mutex
+	col := NewCollector(reg, func(f Frame, _ []float64) {
+		sinkMu.Lock()
+		payloads[f.ID] = append([]byte(nil), f.Enc.Data...)
+		counts[f.ID]++
+		sinkMu.Unlock()
+	})
+	addr, err := col.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.Close()
+
+	// 0.30 virtual seconds up, 0.15 down, repeating; the byte meter and
+	// per-dial cost place outages mid-frame and mid-redial.
+	link := sim.NewLink(
+		sim.LinkPhase{Seconds: 0.30, Bandwidth: sim.Net4G},
+		sim.LinkPhase{Seconds: 0.15, Bandwidth: 0},
+	)
+	plan := sim.NewFaultPlan(link, 20000, 0.02)
+	plan.StallAt(0.5)
+	plan.ResetAt(1.0)
+
+	var evMu sync.Mutex
+	cfg := ResilientConfig{
+		Addr:         addr.String(),
+		DeviceID:     42,
+		Seed:         seed,
+		BackoffBase:  200 * time.Microsecond,
+		BackoffMax:   2 * time.Millisecond,
+		WriteTimeout: 5 * time.Second,
+		AckTimeout:   5 * time.Second,
+		Dialer: func(a string, timeout time.Duration) (net.Conn, error) {
+			return plan.Dial(func() (net.Conn, error) {
+				return net.DialTimeout("tcp", a, timeout)
+			})
+		},
+		OnEvent: func(e Event) {
+			evMu.Lock()
+			trace = append(trace, fmt.Sprintf("%s id=%d wait=%s", e.Kind, e.ID, e.Wait))
+			evMu.Unlock()
+		},
+	}
+	up, err := DialResilient(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range frames {
+		if err := up.Send(f); err != nil {
+			t.Fatalf("send %d: %v", f.ID, err)
+		}
+	}
+	if err := up.WaitDrain(30 * time.Second); err != nil {
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		t.Fatalf("drain: %v (pending %d, vt %.3f)\n%s", err, up.Pending(), plan.Now(), buf[:n])
+	}
+	if err := up.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if resets, stalls := plan.Injected(); resets == 0 || stalls == 0 {
+		t.Fatalf("chaos run injected no faults (resets=%d stalls=%d) — schedule too tame", resets, stalls)
+	}
+	return trace, payloads, counts
+}
+
+// TestChaosExactlyOnceDeterministic is the tentpole acceptance test:
+// under deterministic link outages, scripted stalls/resets and torn
+// frames, every spooled segment reaches the collector sink exactly once
+// with a byte-identical payload, and the same seed reproduces the same
+// retry/ACK trace across two executions.
+func TestChaosExactlyOnceDeterministic(t *testing.T) {
+	frames, _ := sampleFrames(t, 60)
+
+	trace1, payloads1, counts1 := chaosRun(t, 7, frames)
+	for _, f := range frames {
+		if counts1[f.ID] != 1 {
+			t.Fatalf("frame %d delivered %d times, want exactly once", f.ID, counts1[f.ID])
+		}
+		if !bytes.Equal(payloads1[f.ID], f.Enc.Data) {
+			t.Fatalf("frame %d payload corrupted in transit", f.ID)
+		}
+	}
+
+	trace2, _, counts2 := chaosRun(t, 7, frames)
+	for _, f := range frames {
+		if counts2[f.ID] != 1 {
+			t.Fatalf("rerun: frame %d delivered %d times", f.ID, counts2[f.ID])
+		}
+	}
+	if len(trace1) != len(trace2) {
+		t.Fatalf("trace lengths differ: %d vs %d\nrun1 tail: %v\nrun2 tail: %v",
+			len(trace1), len(trace2), tail(trace1, 5), tail(trace2, 5))
+	}
+	for i := range trace1 {
+		if trace1[i] != trace2[i] {
+			t.Fatalf("traces diverge at event %d:\nrun1: %s\nrun2: %s", i, trace1[i], trace2[i])
+		}
+	}
+}
+
+func tail(s []string, n int) []string {
+	if len(s) <= n {
+		return s
+	}
+	return s[len(s)-n:]
+}

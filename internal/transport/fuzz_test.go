@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"bufio"
 	"bytes"
 	"io"
 	"testing"
@@ -38,6 +39,29 @@ func FuzzFrameReader(f *testing.F) {
 			}
 			if len(frame.Enc.Data) > maxFrameData {
 				t.Fatal("payload bound violated")
+			}
+			if frame.Enc.N < 0 || frame.Enc.N > maxFramePoints {
+				t.Fatalf("point count %d escaped validation", frame.Enc.N)
+			}
+		}
+	})
+}
+
+// FuzzAckReader: arbitrary bytes must never panic the ACK parser; torn
+// input is an error, never a silently wrong watermark.
+func FuzzAckReader(f *testing.F) {
+	var buf bytes.Buffer
+	_ = writeAck(&buf, 7)
+	_ = writeAck(&buf, 1<<40)
+	f.Add(buf.Bytes())
+	f.Add([]byte("AEA1"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bufio.NewReader(bytes.NewReader(data))
+		for i := 0; i < 64; i++ { // bounded ACKs per input
+			if _, err := readAck(r); err != nil {
+				return // io.EOF or rejected: fine
 			}
 		}
 	})

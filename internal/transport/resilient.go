@@ -1,0 +1,435 @@
+package transport
+
+import (
+	"bufio"
+	"errors"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/store"
+)
+
+// ResilientUplink is the fault-tolerant device-side sender: Send spools
+// the frame in a bounded on-device queue (backed by store.Spool) and
+// returns without touching the network; a single pump goroutine owns all
+// I/O, sending spooled frames in ID order with write deadlines and
+// reading the collector's cumulative ACK after each one. On any
+// connection error the pump backs off exponentially (deterministic,
+// seeded jitter), redials, and resends from the first unacknowledged
+// frame. The wire is therefore at-least-once; the collector's per-device
+// watermark turns it into exactly-once at the sink.
+//
+// The frame→ACK lockstep trades pipelining for a property the chaos
+// tests depend on: the entire network interaction is a deterministic
+// function of the spooled traffic and the fault schedule, so two runs
+// with the same seed produce the same retry/ACK trace. Pipelined ACKs
+// are a throughput optimization this design deliberately defers.
+type ResilientUplink struct {
+	cfg   ResilientConfig
+	spool *store.Spool
+	boff  backoff
+	work  chan struct{}
+	done  chan struct{}
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex
+	conn   net.Conn // current connection, nil between dials; guarded by mu
+	closed bool     // guarded by mu
+	stats  UplinkStats
+	// br and w frame the current conn; replaced on redial. Only the pump
+	// touches them, but they are replaced under mu alongside conn.
+	br *bufio.Reader
+	w  *Writer
+}
+
+// ResilientConfig parameterizes DialResilient. The zero value of every
+// field except Addr is usable.
+type ResilientConfig struct {
+	// Addr is the collector address.
+	Addr string
+	// DeviceID identifies this device to the collector's dedup watermark.
+	// Devices sharing a collector must use distinct IDs.
+	DeviceID uint64
+	// DialTimeout bounds each dial attempt (default DefaultDialTimeout).
+	DialTimeout time.Duration
+	// WriteTimeout bounds each frame write (default 10s).
+	WriteTimeout time.Duration
+	// AckTimeout bounds the wait for each cumulative ACK (default 10s).
+	AckTimeout time.Duration
+	// BackoffBase and BackoffMax bound the exponential redial backoff
+	// (defaults 50ms and 5s).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// Seed drives the backoff jitter; the same seed yields the same
+	// delay sequence.
+	Seed int64
+	// SpoolSegments and SpoolBytes bound the spool (see store.NewSpool).
+	SpoolSegments int
+	SpoolBytes    int64
+	// HighWater is the spool pressure mark in (0,1) (default 0.75).
+	HighWater float64
+	// OnPressure fires when spool utilization crosses HighWater in either
+	// direction. Wire it to OnlineEngine.Degrade for graceful
+	// degradation: tighten the effective bandwidth target while the
+	// backlog is deep, restore it once the spool drains.
+	OnPressure func(over bool)
+	// Dialer overrides the transport (fault injection, tests). Default
+	// is net.DialTimeout over TCP.
+	Dialer func(addr string, timeout time.Duration) (net.Conn, error)
+	// OnEvent observes the delivery trace (dials, sends, ACKs, backoff).
+	// Called from the pump goroutine; must not block.
+	OnEvent func(Event)
+}
+
+// Event is one entry of the uplink's delivery trace.
+type Event struct {
+	// Kind is one of "dial", "dial-fail", "send", "send-fail", "ack",
+	// "ack-fail", "backoff".
+	Kind string
+	// ID is the frame ID (send), ACK watermark (ack), or dial attempt
+	// ordinal (dial/dial-fail).
+	ID uint64
+	// Wait is the backoff delay (backoff events only).
+	Wait time.Duration
+	// Err carries the failure (fail events only).
+	Err string
+}
+
+// UplinkStats summarizes delivery progress.
+type UplinkStats struct {
+	// FramesSent counts frame writes, including retransmissions.
+	FramesSent int
+	// Acked is the collector's cumulative watermark.
+	Acked uint64
+	// Dials and DialFailures count connection attempts.
+	Dials, DialFailures int
+	// SendFailures counts frame writes or ACK reads that broke the
+	// connection.
+	SendFailures int
+	// Pending and Dropped report the spool state.
+	Pending, Dropped int
+}
+
+func (c ResilientConfig) withDefaults() ResilientConfig {
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = DefaultDialTimeout
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 10 * time.Second
+	}
+	if c.AckTimeout <= 0 {
+		c.AckTimeout = 10 * time.Second
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 50 * time.Millisecond
+	}
+	if c.BackoffMax < c.BackoffBase {
+		c.BackoffMax = 5 * time.Second
+		if c.BackoffMax < c.BackoffBase {
+			c.BackoffMax = c.BackoffBase
+		}
+	}
+	if c.Dialer == nil {
+		c.Dialer = func(addr string, timeout time.Duration) (net.Conn, error) {
+			return net.DialTimeout("tcp", addr, timeout)
+		}
+	}
+	return c
+}
+
+// ErrUplinkClosed is returned by Send after Close.
+var ErrUplinkClosed = errors.New("transport: uplink closed")
+
+// DialResilient starts a resilient uplink toward cfg.Addr. It returns
+// immediately: the first dial happens on the pump goroutine, and an
+// unreachable collector just means frames accumulate in the spool until
+// the bound sheds them.
+func DialResilient(cfg ResilientConfig) (*ResilientUplink, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Addr == "" {
+		return nil, errors.New("transport: resilient uplink needs an address")
+	}
+	u := &ResilientUplink{
+		cfg:  cfg,
+		boff: newBackoff(cfg.BackoffBase, cfg.BackoffMax, cfg.Seed),
+		work: make(chan struct{}, 1),
+		done: make(chan struct{}),
+	}
+	u.spool = store.NewSpool(cfg.SpoolSegments, cfg.SpoolBytes, cfg.HighWater, cfg.OnPressure)
+	u.wg.Add(1)
+	go u.run()
+	return u, nil
+}
+
+// Send spools one frame for delivery. It never blocks on the network;
+// when the spool bound is reached it fails with store.ErrSpoolFull and
+// the caller sheds the segment.
+func (u *ResilientUplink) Send(f Frame) error {
+	u.mu.Lock()
+	closed := u.closed
+	u.mu.Unlock()
+	if closed {
+		return ErrUplinkClosed
+	}
+	err := u.spool.Append(&store.Entry{ID: f.ID, Label: f.Label, Enc: f.Enc})
+	if err != nil {
+		return err
+	}
+	select {
+	case u.work <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+// Pending returns the number of spooled, unacknowledged frames.
+func (u *ResilientUplink) Pending() int { return u.spool.Len() }
+
+// Acked returns the collector's cumulative watermark: every frame ID
+// below it is confirmed delivered.
+func (u *ResilientUplink) Acked() uint64 { return u.spool.Acked() }
+
+// Stats returns a snapshot of delivery progress.
+func (u *ResilientUplink) Stats() UplinkStats {
+	u.mu.Lock()
+	st := u.stats
+	u.mu.Unlock()
+	st.Acked = u.spool.Acked()
+	st.Pending = u.spool.Len()
+	st.Dropped = u.spool.Dropped()
+	return st
+}
+
+// WaitDrain blocks until every spooled frame is acknowledged or the
+// timeout expires.
+func (u *ResilientUplink) WaitDrain(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for u.spool.Len() > 0 {
+		if time.Now().After(deadline) {
+			return errors.New("transport: drain timeout")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return nil
+}
+
+// Close stops the pump and closes the connection. Frames still spooled
+// are abandoned; call WaitDrain first for a graceful shutdown.
+func (u *ResilientUplink) Close() error {
+	u.mu.Lock()
+	if u.closed {
+		u.mu.Unlock()
+		return nil
+	}
+	u.closed = true
+	conn := u.conn
+	u.mu.Unlock()
+	close(u.done)
+	if conn != nil {
+		_ = conn.Close()
+	}
+	u.wg.Wait()
+	return nil
+}
+
+func (u *ResilientUplink) event(e Event) {
+	if u.cfg.OnEvent != nil {
+		u.cfg.OnEvent(e)
+	}
+}
+
+// sleep waits d or until Close, reporting whether the uplink is still
+// open.
+func (u *ResilientUplink) sleep(d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-u.done:
+		return false
+	}
+}
+
+// run is the pump: it owns every network operation.
+func (u *ResilientUplink) run() {
+	defer u.wg.Done()
+	defer u.dropConn()
+	for {
+		head, ok := u.spool.Head()
+		if !ok {
+			select {
+			case <-u.work:
+				continue
+			case <-u.done:
+				return
+			}
+		}
+		select {
+		case <-u.done:
+			return
+		default:
+		}
+		if !u.connected() && !u.connect() {
+			// connect already backed off; bail out only on Close.
+			select {
+			case <-u.done:
+				return
+			default:
+				continue
+			}
+		}
+		if err := u.sendOne(head); err != nil {
+			u.dropConn()
+			wait := u.boff.next()
+			u.event(Event{Kind: "backoff", Wait: wait})
+			if !u.sleep(wait) {
+				return
+			}
+		}
+	}
+}
+
+func (u *ResilientUplink) connected() bool {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.conn != nil
+}
+
+func (u *ResilientUplink) dropConn() {
+	u.mu.Lock()
+	conn := u.conn
+	u.conn, u.br, u.w = nil, nil, nil
+	u.mu.Unlock()
+	if conn != nil {
+		_ = conn.Close()
+	}
+}
+
+// connect dials, sends the session hello, and installs the connection.
+// On failure it records the event and backs off; it reports whether a
+// connection is installed.
+func (u *ResilientUplink) connect() bool {
+	u.mu.Lock()
+	u.stats.Dials++
+	attempt := uint64(u.stats.Dials)
+	u.mu.Unlock()
+	conn, err := u.cfg.Dialer(u.cfg.Addr, u.cfg.DialTimeout)
+	if err == nil {
+		_ = conn.SetWriteDeadline(time.Now().Add(u.cfg.WriteTimeout))
+		err = writeHello(conn, u.cfg.DeviceID)
+		if err != nil {
+			_ = conn.Close()
+		}
+	}
+	if err != nil {
+		u.mu.Lock()
+		u.stats.DialFailures++
+		u.mu.Unlock()
+		u.event(Event{Kind: "dial-fail", ID: attempt, Err: err.Error()})
+		wait := u.boff.next()
+		u.event(Event{Kind: "backoff", Wait: wait})
+		if !u.sleep(wait) {
+			return false
+		}
+		return false
+	}
+	u.mu.Lock()
+	if u.closed {
+		u.mu.Unlock()
+		_ = conn.Close()
+		return false
+	}
+	u.conn = conn
+	u.br = bufio.NewReader(conn)
+	u.w = NewWriter(conn)
+	u.mu.Unlock()
+	u.event(Event{Kind: "dial", ID: attempt})
+	return true
+}
+
+// sendOne transmits the head frame and waits for the cumulative ACK.
+func (u *ResilientUplink) sendOne(e *store.Entry) error {
+	u.mu.Lock()
+	conn, br, w := u.conn, u.br, u.w
+	u.mu.Unlock()
+	if conn == nil {
+		return net.ErrClosed
+	}
+	_ = conn.SetWriteDeadline(time.Now().Add(u.cfg.WriteTimeout))
+	err := w.Send(Frame{ID: e.ID, Label: e.Label, Enc: e.Enc})
+	if err == nil {
+		err = w.Flush()
+	}
+	if err != nil {
+		u.mu.Lock()
+		u.stats.SendFailures++
+		u.mu.Unlock()
+		u.event(Event{Kind: "send-fail", ID: e.ID, Err: err.Error()})
+		return err
+	}
+	u.mu.Lock()
+	u.stats.FramesSent++
+	u.mu.Unlock()
+	u.event(Event{Kind: "send", ID: e.ID})
+	_ = conn.SetReadDeadline(time.Now().Add(u.cfg.AckTimeout))
+	next, err := readAck(br)
+	if err != nil {
+		u.mu.Lock()
+		u.stats.SendFailures++
+		u.mu.Unlock()
+		u.event(Event{Kind: "ack-fail", ID: e.ID, Err: err.Error()})
+		return err
+	}
+	u.spool.AckBelow(next)
+	u.event(Event{Kind: "ack", ID: next})
+	u.boff.reset()
+	return nil
+}
+
+// backoff computes exponential redial delays with deterministic jitter.
+// The jitter stream is a splitmix64 generator over the configured seed —
+// not math/rand, whose construction is reserved to the seeded-RNG
+// packages by the seqdeterminism analyzer — so the same seed reproduces
+// the same delay sequence, which is what makes chaos-test retry traces
+// comparable across runs.
+type backoff struct {
+	base, max time.Duration
+	attempt   int
+	state     uint64
+}
+
+func newBackoff(base, max time.Duration, seed int64) backoff {
+	return backoff{base: base, max: max, state: uint64(seed)*0x9e3779b97f4a7c15 + 1}
+}
+
+// next returns the delay for the current attempt: cap(base·2^attempt)
+// jittered into [d/2, d].
+func (b *backoff) next() time.Duration {
+	d := b.base
+	for i := 0; i < b.attempt && d < b.max; i++ {
+		d *= 2
+	}
+	if d > b.max {
+		d = b.max
+	}
+	b.attempt++
+	half := d / 2
+	if half <= 0 {
+		return d
+	}
+	return half + time.Duration(splitmix64(&b.state)%uint64(half+1))
+}
+
+func (b *backoff) reset() { b.attempt = 0 }
+
+// splitmix64 is the standard SplitMix64 step (Steele et al.), enough for
+// jitter and fully reproducible from the seed.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

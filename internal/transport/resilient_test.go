@@ -1,0 +1,211 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/compress"
+	"repro/internal/store"
+)
+
+func smallFrame(id uint64) Frame {
+	return Frame{ID: id, Label: 1, Enc: compress.Encoded{Codec: "paa", Data: []byte{byte(id), 1, 2, 3}, N: 4}}
+}
+
+// TestResilientDelivery: frames spooled through the resilient uplink reach
+// the collector sink exactly once, byte-identical, and the cumulative ACK
+// watermark covers them all.
+func TestResilientDelivery(t *testing.T) {
+	reg := compress.DefaultRegistry(4)
+	var mu sync.Mutex
+	payloads := map[uint64][]byte{}
+	counts := map[uint64]int{}
+	col := NewCollector(reg, func(f Frame, _ []float64) {
+		mu.Lock()
+		payloads[f.ID] = append([]byte(nil), f.Enc.Data...)
+		counts[f.ID]++
+		mu.Unlock()
+	})
+	addr, err := col.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.Close()
+
+	up, err := DialResilient(ResilientConfig{Addr: addr.String(), DeviceID: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames, _ := sampleFrames(t, 10)
+	for _, f := range frames {
+		if err := up.Send(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := up.WaitDrain(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := up.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := up.Acked(); got != uint64(len(frames)) {
+		t.Fatalf("uplink watermark = %d, want %d", got, len(frames))
+	}
+	if next, ok := col.Acked(7); !ok || next != uint64(len(frames)) {
+		t.Fatalf("collector watermark = %d ok=%v", next, ok)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for _, f := range frames {
+		if counts[f.ID] != 1 {
+			t.Fatalf("frame %d delivered %d times", f.ID, counts[f.ID])
+		}
+		if !bytes.Equal(payloads[f.ID], f.Enc.Data) {
+			t.Fatalf("frame %d payload differs", f.ID)
+		}
+	}
+	if up.Send(smallFrame(99)) != ErrUplinkClosed {
+		t.Fatal("Send after Close must fail with ErrUplinkClosed")
+	}
+}
+
+// TestResilientRedial: dial failures back off and retry until the
+// collector is reachable; nothing is lost in between.
+func TestResilientRedial(t *testing.T) {
+	col := NewCollector(compress.DefaultRegistry(4), nil)
+	addr, err := col.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.Close()
+
+	var dialMu sync.Mutex
+	failsLeft := 3
+	cfg := ResilientConfig{
+		Addr:        addr.String(),
+		DeviceID:    1,
+		BackoffBase: time.Millisecond,
+		BackoffMax:  4 * time.Millisecond,
+		Dialer: func(a string, timeout time.Duration) (net.Conn, error) {
+			dialMu.Lock()
+			fail := failsLeft > 0
+			if fail {
+				failsLeft--
+			}
+			dialMu.Unlock()
+			if fail {
+				return nil, errors.New("injected dial failure")
+			}
+			return net.DialTimeout("tcp", a, timeout)
+		},
+	}
+	up, err := DialResilient(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint64(0); i < 5; i++ {
+		if err := up.Send(smallFrame(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := up.WaitDrain(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	st := up.Stats()
+	_ = up.Close()
+	if st.DialFailures != 3 {
+		t.Fatalf("dial failures = %d, want 3", st.DialFailures)
+	}
+	if st.Dials < 4 {
+		t.Fatalf("dials = %d, want >= 4", st.Dials)
+	}
+	if st.Acked != 5 || st.Pending != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestResilientSpoolPressure: an unreachable collector fills the bounded
+// spool, fires the high-water pressure callback (the Degrade hook), and
+// sheds with ErrSpoolFull once full.
+func TestResilientSpoolPressure(t *testing.T) {
+	var mu sync.Mutex
+	var events []bool
+	cfg := ResilientConfig{
+		Addr:          "127.0.0.1:1",
+		DeviceID:      2,
+		SpoolSegments: 4,
+		HighWater:     0.5,
+		BackoffBase:   time.Millisecond,
+		BackoffMax:    2 * time.Millisecond,
+		Dialer: func(string, time.Duration) (net.Conn, error) {
+			return nil, errors.New("link permanently down")
+		},
+		OnPressure: func(over bool) {
+			mu.Lock()
+			events = append(events, over)
+			mu.Unlock()
+		},
+	}
+	up, err := DialResilient(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer up.Close()
+	for i := uint64(0); i < 4; i++ {
+		if err := up.Send(smallFrame(i)); err != nil {
+			t.Fatalf("send %d: %v", i, err)
+		}
+	}
+	if err := up.Send(smallFrame(4)); !errors.Is(err, store.ErrSpoolFull) {
+		t.Fatalf("want ErrSpoolFull, got %v", err)
+	}
+	st := up.Stats()
+	if st.Pending != 4 || st.Dropped != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(events) != 1 || !events[0] {
+		t.Fatalf("pressure events = %v, want one over=true", events)
+	}
+}
+
+// TestBackoffDeterministic: the jitter stream is a pure function of the
+// seed, and every delay stays inside [ceil/2, ceil].
+func TestBackoffDeterministic(t *testing.T) {
+	base, max := time.Millisecond, 100*time.Millisecond
+	b1 := newBackoff(base, max, 42)
+	b2 := newBackoff(base, max, 42)
+	b3 := newBackoff(base, max, 43)
+	diverged := false
+	ceil := base
+	for i := 0; i < 20; i++ {
+		d1, d2, d3 := b1.next(), b2.next(), b3.next()
+		if d1 != d2 {
+			t.Fatalf("attempt %d: same seed diverged (%v vs %v)", i, d1, d2)
+		}
+		if d1 != d3 {
+			diverged = true
+		}
+		if d1 < ceil/2 || d1 > ceil {
+			t.Fatalf("attempt %d: delay %v outside [%v, %v]", i, d1, ceil/2, ceil)
+		}
+		if ceil < max {
+			ceil *= 2
+			if ceil > max {
+				ceil = max
+			}
+		}
+	}
+	if !diverged {
+		t.Fatal("different seeds produced identical jitter")
+	}
+	b1.reset()
+	if d := b1.next(); d > base {
+		t.Fatalf("post-reset delay %v exceeds base %v", d, base)
+	}
+}

@@ -1,28 +1,61 @@
 package transport
 
 import (
+	"bufio"
 	"errors"
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"repro/internal/compress"
 )
+
+// Collector state errors.
+var (
+	// ErrCollectorClosed is returned by Serve after Close.
+	ErrCollectorClosed = errors.New("transport: collector closed")
+	// ErrCollectorServing is returned by a second Serve call: silently
+	// replacing the listener would leak the first one and orphan its
+	// accept goroutine.
+	ErrCollectorServing = errors.New("transport: collector already serving")
+)
+
+// ackWriteTimeout bounds collector-side ACK writes so a dead peer cannot
+// pin a handler goroutine.
+const ackWriteTimeout = 10 * time.Second
 
 // Collector is the cloud-side receiver: it accepts connections from edge
 // devices, parses segment frames, and hands decompressed (or raw encoded)
 // segments to a sink. It is the minimal centralized counterpart an
 // AdaEdge deployment transmits to.
+//
+// Connections that open with a session hello get reliable-delivery
+// semantics: the collector tracks a per-device cumulative watermark,
+// drops redelivered segments (the resilient uplink retransmits everything
+// unacknowledged after a reconnect), and answers every frame with a
+// cumulative ACK. The sink therefore sees each segment ID exactly once
+// per device even though the wire is at-least-once.
 type Collector struct {
 	reg  *compress.Registry
 	sink func(Frame, []float64)
 
-	mu       sync.Mutex
-	ln       net.Listener
-	wg       sync.WaitGroup
-	frames   int
-	badConns int
-	closed   bool
+	mu         sync.Mutex
+	ln         net.Listener // guarded by mu
+	wg         sync.WaitGroup
+	conns      map[net.Conn]struct{} // live connections; guarded by mu
+	devices    map[uint64]*deviceState
+	frames     int  // guarded by mu
+	duplicates int  // guarded by mu
+	badConns   int  // guarded by mu
+	closed     bool // guarded by mu
+}
+
+// deviceState is the per-device delivery watermark, persistent across the
+// device's reconnects.
+type deviceState struct {
+	// next is the cumulative watermark: every ID < next was delivered.
+	next uint64
 }
 
 // NewCollector builds a receiver. sink is invoked for every frame with the
@@ -32,17 +65,34 @@ func NewCollector(reg *compress.Registry, sink func(Frame, []float64)) *Collecto
 	if sink == nil {
 		sink = func(Frame, []float64) {}
 	}
-	return &Collector{reg: reg, sink: sink}
+	return &Collector{
+		reg:     reg,
+		sink:    sink,
+		conns:   make(map[net.Conn]struct{}),
+		devices: make(map[uint64]*deviceState),
+	}
 }
 
 // Serve listens on addr ("127.0.0.1:0" for an ephemeral test port) and
-// accepts connections until Close. It returns the bound address.
+// accepts connections until Close. It returns the bound address. A
+// collector serves at most one listener: calling Serve while serving or
+// after Close is an error.
 func (c *Collector) Serve(addr string) (net.Addr, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	c.mu.Lock()
+	switch {
+	case c.closed:
+		c.mu.Unlock()
+		_ = ln.Close()
+		return nil, ErrCollectorClosed
+	case c.ln != nil:
+		c.mu.Unlock()
+		_ = ln.Close()
+		return nil, ErrCollectorServing
+	}
 	c.ln = ln
 	c.mu.Unlock()
 	c.wg.Add(1)
@@ -53,10 +103,21 @@ func (c *Collector) Serve(addr string) (net.Addr, error) {
 			if err != nil {
 				return // listener closed
 			}
+			c.mu.Lock()
+			if c.closed {
+				c.mu.Unlock()
+				_ = conn.Close()
+				return
+			}
+			c.conns[conn] = struct{}{}
+			c.mu.Unlock()
 			c.wg.Add(1)
 			go func() {
 				defer c.wg.Done()
 				c.handle(conn)
+				c.mu.Lock()
+				delete(c.conns, conn)
+				c.mu.Unlock()
 			}()
 		}
 	}()
@@ -64,37 +125,117 @@ func (c *Collector) Serve(addr string) (net.Addr, error) {
 }
 
 func (c *Collector) handle(conn net.Conn) {
-	defer conn.Close()
-	r := NewReader(conn)
+	defer func() { _ = conn.Close() }()
+	br := bufio.NewReader(conn)
+	if magic, err := br.Peek(len(helloMagic)); err == nil && [4]byte(magic) == helloMagic {
+		c.handleReliable(conn, br)
+		return
+	}
+	c.handleLegacy(br)
+}
+
+// handleLegacy is the fire-and-forget path: frames in, nothing out.
+func (c *Collector) handleLegacy(br *bufio.Reader) {
+	r := NewReader(br)
 	for {
 		frame, err := r.Recv()
 		if errors.Is(err, io.EOF) {
 			return
 		}
 		if err != nil {
-			c.mu.Lock()
-			c.badConns++
-			c.mu.Unlock()
+			c.noteBadConn()
 			return
-		}
-		var values []float64
-		if c.reg != nil {
-			if v, derr := c.reg.Decompress(frame.Enc); derr == nil {
-				values = v
-			}
 		}
 		c.mu.Lock()
 		c.frames++
 		c.mu.Unlock()
-		c.sink(frame, values)
+		c.sink(frame, c.decode(frame))
 	}
 }
 
-// Frames returns the number of frames received so far.
+// handleReliable is the hello/ACK path: per-device dedup, cumulative ACK
+// after every frame.
+func (c *Collector) handleReliable(conn net.Conn, br *bufio.Reader) {
+	deviceID, err := readHello(br)
+	if err != nil {
+		c.noteBadConn()
+		return
+	}
+	c.mu.Lock()
+	dev, ok := c.devices[deviceID]
+	if !ok {
+		dev = &deviceState{}
+		c.devices[deviceID] = dev
+	}
+	c.mu.Unlock()
+	r := NewReader(br)
+	bw := bufio.NewWriter(conn)
+	for {
+		frame, err := r.Recv()
+		if errors.Is(err, io.EOF) {
+			return
+		}
+		if err != nil {
+			c.noteBadConn()
+			return
+		}
+		c.mu.Lock()
+		deliver := frame.ID >= dev.next
+		if deliver {
+			// The spool resends in ID order, so IDs at the watermark (or
+			// above it, if the device shed segments) advance it; anything
+			// below is a redelivery.
+			dev.next = frame.ID + 1
+			c.frames++
+		} else {
+			c.duplicates++
+		}
+		ackNext := dev.next
+		c.mu.Unlock()
+		if deliver {
+			c.sink(frame, c.decode(frame))
+		}
+		_ = conn.SetWriteDeadline(time.Now().Add(ackWriteTimeout))
+		if err := writeAck(bw, ackNext); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+func (c *Collector) decode(frame Frame) []float64 {
+	if c.reg == nil {
+		return nil
+	}
+	values, err := c.reg.Decompress(frame.Enc)
+	if err != nil {
+		return nil
+	}
+	return values
+}
+
+func (c *Collector) noteBadConn() {
+	c.mu.Lock()
+	c.badConns++
+	c.mu.Unlock()
+}
+
+// Frames returns the number of frames delivered to the sink so far
+// (duplicates excluded).
 func (c *Collector) Frames() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.frames
+}
+
+// Duplicates returns the number of redelivered frames dropped by the
+// per-device watermark.
+func (c *Collector) Duplicates() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.duplicates
 }
 
 // BadConns returns the number of connections dropped on malformed input.
@@ -104,7 +245,19 @@ func (c *Collector) BadConns() int {
 	return c.badConns
 }
 
-// Close stops accepting and waits for in-flight connections.
+// Acked returns a device's cumulative watermark (all IDs below it were
+// delivered) and whether the device has ever connected reliably.
+func (c *Collector) Acked(deviceID uint64) (uint64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	dev, ok := c.devices[deviceID]
+	if !ok {
+		return 0, false
+	}
+	return dev.next, true
+}
+
+// Close stops accepting, closes live connections, and waits for handlers.
 func (c *Collector) Close() error {
 	c.mu.Lock()
 	if c.closed {
@@ -113,38 +266,75 @@ func (c *Collector) Close() error {
 	}
 	c.closed = true
 	ln := c.ln
+	conns := make([]net.Conn, 0, len(c.conns))
+	for conn := range c.conns {
+		conns = append(conns, conn)
+	}
 	c.mu.Unlock()
 	var err error
 	if ln != nil {
 		err = ln.Close()
 	}
+	for _, conn := range conns {
+		_ = conn.Close()
+	}
 	c.wg.Wait()
 	return err
 }
 
-// Uplink is the device-side sender: a connection plus framing.
+// DefaultDialTimeout bounds Dial: a black-holed collector address must
+// fail the device quickly, not hang it forever.
+const DefaultDialTimeout = 10 * time.Second
+
+// Uplink is the device-side sender: a connection plus framing. It is the
+// plain fire-and-forget path; see ResilientUplink for spooled,
+// acknowledged delivery.
 type Uplink struct {
-	conn net.Conn
-	w    *Writer
+	conn         net.Conn
+	w            *Writer
+	writeTimeout time.Duration
 }
 
-// Dial connects to a Collector.
+// Dial connects to a Collector with DefaultDialTimeout.
 func Dial(addr string) (*Uplink, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialTimeout(addr, DefaultDialTimeout)
+}
+
+// DialTimeout connects to a Collector, failing after timeout (0 means no
+// bound).
+func DialTimeout(addr string, timeout time.Duration) (*Uplink, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
 		return nil, err
 	}
 	return &Uplink{conn: conn, w: NewWriter(conn)}, nil
 }
 
+// SetWriteTimeout bounds each Send/Flush: the write deadline is pushed
+// forward by d before every operation (0 disables, the default).
+func (u *Uplink) SetWriteTimeout(d time.Duration) { u.writeTimeout = d }
+
+func (u *Uplink) pushDeadline() {
+	if u.writeTimeout > 0 {
+		_ = u.conn.SetWriteDeadline(time.Now().Add(u.writeTimeout))
+	}
+}
+
 // Send transmits one segment frame.
-func (u *Uplink) Send(f Frame) error { return u.w.Send(f) }
+func (u *Uplink) Send(f Frame) error {
+	u.pushDeadline()
+	return u.w.Send(f)
+}
 
 // Flush pushes buffered frames.
-func (u *Uplink) Flush() error { return u.w.Flush() }
+func (u *Uplink) Flush() error {
+	u.pushDeadline()
+	return u.w.Flush()
+}
 
 // Close flushes and closes the connection.
 func (u *Uplink) Close() error {
+	u.pushDeadline()
 	if err := u.w.Flush(); err != nil {
 		_ = u.conn.Close() // the flush error is the one worth reporting
 		return err

@@ -42,6 +42,14 @@ var ErrBadFrame = errors.New("transport: bad frame")
 // maxFrameData bounds a frame's payload against hostile length fields.
 const maxFrameData = 1 << 30
 
+// maxFramePoints bounds the wire-supplied point count N. The count is
+// metadata (decoders allocate from it and Ratio/cost accounting divide by
+// it), so a hostile uvarint up to 2^64-1 must not reach Encoded.N: it
+// overflows int on 32-bit platforms and poisons every N-derived quantity.
+// 1<<27 points is 1 GiB of raw float64s — matching maxFrameData — and
+// comfortably fits an int32.
+const maxFramePoints = 1 << 27
+
 // Writer frames segments onto an io.Writer.
 type Writer struct {
 	w   *bufio.Writer
@@ -64,6 +72,9 @@ func (t *Writer) uvarint(v uint64) error {
 func (t *Writer) Send(f Frame) error {
 	if len(f.Enc.Codec) == 0 || len(f.Enc.Codec) > 255 {
 		return fmt.Errorf("%w: codec name %q", ErrBadFrame, f.Enc.Codec)
+	}
+	if f.Enc.N < 0 || f.Enc.N > maxFramePoints {
+		return fmt.Errorf("%w: point count %d", ErrBadFrame, f.Enc.N)
 	}
 	if _, err := t.w.Write(frameMagic[:]); err != nil {
 		return err
@@ -138,6 +149,9 @@ func (t *Reader) Recv() (Frame, error) {
 	n, err := binary.ReadUvarint(t.r)
 	if err != nil {
 		return Frame{}, fmt.Errorf("%w: %v", ErrBadFrame, err)
+	}
+	if n > maxFramePoints {
+		return Frame{}, fmt.Errorf("%w: point count %d", ErrBadFrame, n)
 	}
 	f.Enc.N = int(n)
 	dataLen, err := binary.ReadUvarint(t.r)

@@ -1,9 +1,13 @@
 package transport
 
 import (
+	"bufio"
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"io"
+	"math"
+	"net"
 	"sync"
 	"testing"
 	"time"
@@ -111,6 +115,157 @@ func TestFrameTruncatedMidPayload(t *testing.T) {
 	r := NewReader(bytes.NewReader(data))
 	if _, err := r.Recv(); err == nil || err == io.EOF {
 		t.Fatalf("truncated payload accepted: %v", err)
+	}
+}
+
+// rawFrameWithN builds frame bytes whose point-count uvarint the Writer
+// would refuse to produce, so the Reader's own bound is what gets tested.
+func rawFrameWithN(n uint64) []byte {
+	var buf bytes.Buffer
+	buf.WriteString("AES1")
+	var tmp [binary.MaxVarintLen64]byte
+	put := func(v uint64) {
+		k := binary.PutUvarint(tmp[:], v)
+		buf.Write(tmp[:k])
+	}
+	put(7)                // id
+	put(zigzag(int64(1))) // label
+	put(3)
+	buf.WriteString("paa")
+	put(n) // point count under test
+	put(0) // empty payload
+	return buf.Bytes()
+}
+
+// TestRecvRejectsHostilePointCount is the regression for the unvalidated
+// wire-supplied N: a count that cannot fit the decoder's arithmetic must
+// be rejected as a bad frame, not stored into Encoded.N.
+func TestRecvRejectsHostilePointCount(t *testing.T) {
+	for _, n := range []uint64{math.MaxUint64, 1 << 40, maxFramePoints + 1} {
+		_, err := NewReader(bytes.NewReader(rawFrameWithN(n))).Recv()
+		if !errors.Is(err, ErrBadFrame) {
+			t.Errorf("N=%d: want ErrBadFrame, got %v", n, err)
+		}
+	}
+	// The bound itself is still a legal frame.
+	f, err := NewReader(bytes.NewReader(rawFrameWithN(maxFramePoints))).Recv()
+	if err != nil {
+		t.Fatalf("N at bound rejected: %v", err)
+	}
+	if f.Enc.N != maxFramePoints {
+		t.Fatalf("N = %d, want %d", f.Enc.N, maxFramePoints)
+	}
+}
+
+func TestSendRejectsBadPointCount(t *testing.T) {
+	w := NewWriter(io.Discard)
+	for _, n := range []int{-1, maxFramePoints + 1} {
+		err := w.Send(Frame{Enc: compress.Encoded{Codec: "paa", N: n}})
+		if !errors.Is(err, ErrBadFrame) {
+			t.Errorf("N=%d: want ErrBadFrame, got %v", n, err)
+		}
+	}
+}
+
+func TestAckRoundTripAndTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeAck(&buf, 42); err != nil {
+		t.Fatal(err)
+	}
+	full := append([]byte(nil), buf.Bytes()...)
+	next, err := readAck(bufio.NewReader(bytes.NewReader(full)))
+	if err != nil || next != 42 {
+		t.Fatalf("round trip: next=%d err=%v", next, err)
+	}
+	// Every mid-ACK truncation is a bad frame, never a silent zero.
+	for i := 1; i < len(full); i++ {
+		if _, err := readAck(bufio.NewReader(bytes.NewReader(full[:i]))); !errors.Is(err, ErrBadFrame) {
+			t.Errorf("truncated at %d: want ErrBadFrame, got %v", i, err)
+		}
+	}
+	// A clean end of stream is io.EOF, and a foreign magic is a bad frame.
+	if _, err := readAck(bufio.NewReader(bytes.NewReader(nil))); err != io.EOF {
+		t.Fatalf("empty stream: want io.EOF, got %v", err)
+	}
+	if _, err := readAck(bufio.NewReader(bytes.NewReader([]byte("AES1\x00")))); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("foreign magic: want ErrBadFrame, got %v", err)
+	}
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeHello(&buf, 99); err != nil {
+		t.Fatal(err)
+	}
+	id, err := readHello(bufio.NewReader(&buf))
+	if err != nil || id != 99 {
+		t.Fatalf("round trip: id=%d err=%v", id, err)
+	}
+	// Unknown protocol versions are rejected up front.
+	bad := []byte{'A', 'E', 'H', '1', 2, 99}
+	if _, err := readHello(bufio.NewReader(bytes.NewReader(bad))); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("version 2: want ErrBadFrame, got %v", err)
+	}
+}
+
+// TestCollectorServeGuards is the regression for Serve silently
+// overwriting the live listener: a second Serve and a Serve after Close
+// must fail loudly.
+func TestCollectorServeGuards(t *testing.T) {
+	col := NewCollector(nil, nil)
+	if _, err := col.Serve("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := col.Serve("127.0.0.1:0"); !errors.Is(err, ErrCollectorServing) {
+		t.Fatalf("second Serve: want ErrCollectorServing, got %v", err)
+	}
+	if err := col.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := col.Serve("127.0.0.1:0"); !errors.Is(err, ErrCollectorClosed) {
+		t.Fatalf("Serve after Close: want ErrCollectorClosed, got %v", err)
+	}
+}
+
+func TestDialTimeoutRefused(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	_ = ln.Close()
+	if _, err := DialTimeout(addr, 500*time.Millisecond); err == nil {
+		t.Fatal("dial to a closed port succeeded")
+	}
+}
+
+func TestUplinkWriteTimeout(t *testing.T) {
+	col := NewCollector(compress.DefaultRegistry(4), nil)
+	addr, err := col.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.Close()
+	up, err := Dial(addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	up.SetWriteTimeout(2 * time.Second)
+	frames, _ := sampleFrames(t, 3)
+	for _, f := range frames {
+		if err := up.Send(f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := up.Close(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for col.Frames() < len(frames) {
+		if time.Now().After(deadline) {
+			t.Fatalf("frames = %d", col.Frames())
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
 }
 

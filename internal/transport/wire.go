@@ -1,0 +1,96 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Reliable-session wire extensions. A resilient uplink opens each
+// connection with a hello frame identifying the device; the collector
+// answers every segment frame on that connection with a cumulative ACK.
+// Connections that do not start with a hello are legacy fire-and-forget
+// streams (plain Uplink) and receive no ACKs, so the two generations of
+// senders interoperate with one collector.
+//
+// Hello (device → collector, once per connection):
+//
+//	magic "AEH1" | uvarint protocol version (1) | uvarint deviceID
+//
+// ACK (collector → device, after every frame):
+//
+//	magic "AEA1" | uvarint next
+//
+// next is the cumulative watermark: every segment ID < next has been
+// delivered to the sink (or deduplicated). The device drops spooled
+// segments below next and, after a reconnect, resends from next upward —
+// at-least-once on the wire, exactly-once at the sink.
+
+var (
+	helloMagic = [4]byte{'A', 'E', 'H', '1'}
+	ackMagic   = [4]byte{'A', 'E', 'A', '1'}
+)
+
+// helloVersion is the reliable-session protocol version.
+const helloVersion = 1
+
+// writeHello emits the session hello for deviceID.
+func writeHello(w io.Writer, deviceID uint64) error {
+	var buf [4 + 2*binary.MaxVarintLen64]byte
+	n := copy(buf[:], helloMagic[:])
+	n += binary.PutUvarint(buf[n:], helloVersion)
+	n += binary.PutUvarint(buf[n:], deviceID)
+	_, err := w.Write(buf[:n])
+	return err
+}
+
+// readHello parses a session hello whose magic has already been peeked
+// (not consumed) by the caller.
+func readHello(r *bufio.Reader) (deviceID uint64, err error) {
+	var magic [4]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrBadFrame, err)
+	}
+	if magic != helloMagic {
+		return 0, ErrBadFrame
+	}
+	version, err := binary.ReadUvarint(r)
+	if err != nil || version != helloVersion {
+		return 0, fmt.Errorf("%w: hello version %d", ErrBadFrame, version)
+	}
+	deviceID, err = binary.ReadUvarint(r)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrBadFrame, err)
+	}
+	return deviceID, nil
+}
+
+// writeAck emits a cumulative acknowledgement: all IDs < next received.
+func writeAck(w io.Writer, next uint64) error {
+	var buf [4 + binary.MaxVarintLen64]byte
+	n := copy(buf[:], ackMagic[:])
+	n += binary.PutUvarint(buf[n:], next)
+	_, err := w.Write(buf[:n])
+	return err
+}
+
+// readAck parses the next cumulative ACK. Truncation mid-ACK is
+// ErrBadFrame, like any other torn frame.
+func readAck(r *bufio.Reader) (next uint64, err error) {
+	var magic [4]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		if err == io.EOF {
+			return 0, io.EOF
+		}
+		return 0, fmt.Errorf("%w: %v", ErrBadFrame, err)
+	}
+	if magic != ackMagic {
+		return 0, ErrBadFrame
+	}
+	next, err = binary.ReadUvarint(r)
+	if err != nil {
+		return 0, fmt.Errorf("%w: %v", ErrBadFrame, err)
+	}
+	return next, nil
+}
