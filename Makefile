@@ -8,7 +8,7 @@ VETTOOL := $(BIN)/adaedge-lint
 # Per-target fuzz time for the smoke pass (CI uses the same value).
 FUZZTIME ?= 20s
 
-.PHONY: all build vet lint test race fuzz-smoke ci clean
+.PHONY: all build vet lint test race fuzz-smoke obs-smoke ci clean
 
 all: build
 
@@ -47,7 +47,12 @@ fuzz-smoke:
 		done; \
 	done
 
-ci: build vet lint race
+# obs-smoke runs cmd/adaedge with -debug-addr and curls every debug
+# endpoint (metrics, vars, trace, pprof) end to end; see OBSERVABILITY.md.
+obs-smoke:
+	./scripts/obs_smoke.sh
+
+ci: build vet lint race obs-smoke
 
 clean:
 	rm -rf $(BIN)

@@ -11,6 +11,8 @@
 //   - Codec registry: the lossless and lossy candidate set.
 //   - Optimization targets: size, throughput, aggregation accuracy,
 //     ML-task accuracy, and weighted combinations.
+//   - Observability: metrics, decision tracing and debug endpoints
+//     (OBSERVABILITY.md).
 //
 // Quickstart:
 //
@@ -26,6 +28,7 @@ import (
 	"repro/internal/compress"
 	"repro/internal/core"
 	"repro/internal/datasets"
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/sim"
 	"repro/internal/store"
@@ -213,6 +216,32 @@ var (
 	Dial = transport.Dial
 	// NewCloudCollector builds the receiving side.
 	NewCloudCollector = transport.NewCollector
+)
+
+// Observability types (see OBSERVABILITY.md). Attach an Observer via
+// Config.Obs (engines), transport.ResilientConfig.Obs (uplink) or
+// CloudCollector.Instrument; a nil Observer disables everything.
+type (
+	// Observer bundles a metric registry, a decision-trace ring, and the
+	// opt-in /debug HTTP mux (JSON metrics, expvar-style vars, trace,
+	// pprof).
+	Observer = obs.Observer
+	// TraceEvent is one structured decision-trace entry. Events carry no
+	// wall-clock fields, so seeded runs reproduce identical sequences.
+	TraceEvent = obs.Event
+	// TraceSink receives trace events; Ring is the standard sink.
+	TraceSink = obs.TraceSink
+	// TraceRing is a bounded in-memory event buffer.
+	TraceRing = obs.Ring
+)
+
+// Observability constructors.
+var (
+	// NewObserver builds an observer; ringCap <= 0 selects the default
+	// trace-ring capacity.
+	NewObserver = obs.New
+	// NewTraceRing builds a standalone bounded event buffer.
+	NewTraceRing = obs.NewRing
 )
 
 // CBFStream generates the paper's CBF sensor workload — useful for demos

@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -25,7 +26,19 @@ func main() {
 	workers := flag.Int("workers", 0, "parallel experiment: measure only this worker count (0 = the 1,2,4,8 ladder)")
 	model := flag.String("model", "", "fig7 model kind: dtree|rforest|knn|kmeans (default: all four)")
 	format := flag.String("format", "text", "output format: text|csv (csv supports fig2,3,5,6,7,8,9,10,11,12,13,14)")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof (and the obs endpoints) on this address while experiments run; empty disables")
 	flag.Parse()
+
+	if *debugAddr != "" {
+		observer := obs.New(0)
+		addr, stop, err := observer.Serve(*debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer func() { _ = stop() }()
+		fmt.Fprintf(os.Stderr, "debug listening on %s\n", addr)
+	}
 
 	w := os.Stdout
 	offCfg := experiments.OfflineConfig{StorageBytes: *budget, Segments: *segments}

@@ -17,11 +17,13 @@ import (
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/compress"
 	"repro/internal/core"
 	"repro/internal/datasets"
 	"repro/internal/ml"
+	"repro/internal/obs"
 	"repro/internal/query"
 	"repro/internal/sim"
 	"repro/internal/store"
@@ -41,6 +43,8 @@ func main() {
 	ucb := flag.Bool("ucb", false, "use UCB1 instead of optimistic ε-greedy")
 	extended := flag.Bool("extended", false, "add the modelar and summary codecs to the candidate set")
 	workers := flag.Int("workers", 1, "codec-trial worker goroutines (1 = sequential; results are identical at any count)")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/{metrics,vars,trace,pprof} on this address (e.g. 127.0.0.1:0); empty disables")
+	linger := flag.Duration("linger", 0, "keep the process (and -debug-addr endpoints) alive this long after the run")
 	flag.Parse()
 
 	obj, err := buildObjective(*target)
@@ -56,6 +60,18 @@ func main() {
 		Seed:                *seed,
 		UseUCB:              *ucb,
 		Workers:             *workers,
+	}
+	if *debugAddr != "" {
+		observer := obs.New(0)
+		cfg.Obs = observer
+		addr, stop, err := observer.Serve(*debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer func() { _ = stop() }()
+		// The smoke test parses this line to find the ephemeral port.
+		fmt.Printf("debug listening on %s\n", addr)
 	}
 	switch strings.ToLower(*policy) {
 	case "lru", "":
@@ -87,6 +103,10 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *mode)
 		os.Exit(2)
+	}
+	if *linger > 0 {
+		fmt.Printf("lingering %v for debug scraping\n", *linger)
+		time.Sleep(*linger)
 	}
 }
 

@@ -1,8 +1,3 @@
-// Package bandit implements the multi-armed bandit policies AdaEdge uses
-// for compression selection (paper §III-C): ε-greedy, optimistic ε-greedy
-// and UCB1, with either sample-average or constant-step-size (nonstationary)
-// value updates. Each arm corresponds to one compression candidate and the
-// reward is the configured optimization target.
 package bandit
 
 import (
@@ -10,6 +5,8 @@ import (
 	"math"
 	"math/rand"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // Policy is a bandit algorithm over a fixed set of arms.
@@ -47,6 +44,36 @@ type Config struct {
 	UCBC float64
 	// Seed makes exploration deterministic; 0 selects a fixed default.
 	Seed int64
+	// Trace observes every Select and Update as a decision-trace event
+	// (obs package). Events are emitted under the policy mutex, in
+	// decision order, and carry no wall-clock fields, so a seeded run
+	// reproduces the same sequence. Nil disables tracing at zero cost.
+	Trace obs.TraceSink
+	// Name labels this policy's trace events (Event.Source), e.g.
+	// "bandit.online.lossy". Empty selects "bandit".
+	Name string
+}
+
+// traceName resolves the event source label.
+func (c Config) traceName() string {
+	if c.Name == "" {
+		return "bandit"
+	}
+	return c.Name
+}
+
+// emitSelect and emitUpdate record the two bandit event kinds. Callers
+// hold the policy mutex, which serializes the events in decision order.
+func emitSelect(c Config, arm int) {
+	if c.Trace != nil {
+		c.Trace.Record(obs.Event{Source: c.traceName(), Kind: "select", Arm: arm})
+	}
+}
+
+func emitUpdate(c Config, arm int, reward, estimate float64) {
+	if c.Trace != nil {
+		c.Trace.Record(obs.Event{Source: c.traceName(), Kind: "update", Arm: arm, Reward: reward, Value: estimate})
+	}
 }
 
 func (c Config) rng() *rand.Rand {
@@ -98,10 +125,14 @@ func (p *EpsilonGreedy) Select(allowed []bool) int {
 	if len(candidates) == 0 {
 		return -1
 	}
+	var arm int
 	if p.rng.Float64() < p.cfg.Epsilon {
-		return candidates[p.rng.Intn(len(candidates))]
+		arm = candidates[p.rng.Intn(len(candidates))]
+	} else {
+		arm = argmaxIn(p.values, candidates, p.rng)
 	}
-	return argmaxIn(p.values, candidates, p.rng)
+	emitSelect(p.cfg, arm)
+	return arm
 }
 
 // Update implements Policy.
@@ -114,9 +145,10 @@ func (p *EpsilonGreedy) Update(arm int, reward float64) {
 	p.counts[arm]++
 	if p.cfg.Step > 0 {
 		p.values[arm] += p.cfg.Step * (reward - p.values[arm])
-		return
+	} else {
+		p.values[arm] += (reward - p.values[arm]) / float64(p.counts[arm])
 	}
-	p.values[arm] += (reward - p.values[arm]) / float64(p.counts[arm])
+	emitUpdate(p.cfg, arm, reward, p.values[arm])
 }
 
 // Estimates implements Policy.
@@ -184,6 +216,7 @@ func (p *UCB1) Select(allowed []bool) int {
 	// Play each allowed arm once first.
 	for _, a := range candidates {
 		if p.counts[a] == 0 {
+			emitSelect(p.cfg, a)
 			return a
 		}
 	}
@@ -195,6 +228,7 @@ func (p *UCB1) Select(allowed []bool) int {
 			best, bestScore = a, score
 		}
 	}
+	emitSelect(p.cfg, best)
 	return best
 }
 
@@ -209,9 +243,10 @@ func (p *UCB1) Update(arm int, reward float64) {
 	p.total++
 	if p.cfg.Step > 0 {
 		p.values[arm] += p.cfg.Step * (reward - p.values[arm])
-		return
+	} else {
+		p.values[arm] += (reward - p.values[arm]) / float64(p.counts[arm])
 	}
-	p.values[arm] += (reward - p.values[arm]) / float64(p.counts[arm])
+	emitUpdate(p.cfg, arm, reward, p.values[arm])
 }
 
 // Estimates implements Policy.

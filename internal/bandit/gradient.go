@@ -76,13 +76,16 @@ func (p *Gradient) Select(allowed []bool) int {
 	probs := p.softmax(candidates)
 	u := p.rng.Float64()
 	acc := 0.0
+	arm := candidates[len(candidates)-1]
 	for i, pr := range probs {
 		acc += pr
 		if u < acc {
-			return candidates[i]
+			arm = candidates[i]
+			break
 		}
 	}
-	return candidates[len(candidates)-1]
+	emitSelect(p.cfg, arm)
+	return arm
 }
 
 // Update implements Policy.
@@ -105,6 +108,7 @@ func (p *Gradient) Update(arm int, reward float64) {
 			p.prefs[a] -= p.alpha * adv * probs[i]
 		}
 	}
+	emitUpdate(p.cfg, arm, reward, p.prefs[arm])
 }
 
 // Estimates implements Policy: the current preferences (not values, but

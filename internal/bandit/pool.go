@@ -1,6 +1,9 @@
 package bandit
 
-import "sync"
+import (
+	"fmt"
+	"sync"
+)
 
 // Pool manages one bandit instance per compression-ratio range, the design
 // behind AdaEdge's offline selection (paper §IV-C2): reward landscapes
@@ -55,6 +58,10 @@ func (p *Pool) For(ratio float64) Policy {
 	if !ok {
 		cfg := p.cfg
 		cfg.Seed = p.cfg.Seed*31 + int64(b) + 1
+		if cfg.Name != "" {
+			// Distinguish ratio-range instances in the decision trace.
+			cfg.Name = fmt.Sprintf("%s[%d]", cfg.Name, b)
+		}
 		pol = p.make(p.arms, cfg)
 		p.pols[b] = pol
 	}

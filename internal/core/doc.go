@@ -1,0 +1,39 @@
+// Package core implements the AdaEdge framework itself (paper §IV): the
+// online engine that selects compression under a bandwidth-derived target
+// ratio, the offline engine that evolves stored data within a storage
+// budget via cascade recoding, the optimization-target machinery (single
+// and weighted complex targets), and the bandit wiring that learns which
+// codec wins for the current data and workload.
+//
+// # Engines
+//
+// OnlineEngine (online.go) handles the continuously connected case: every
+// segment must leave through a link of capacity B while being ingested at
+// rate I, yielding the target ratio R = B/(64×I). Lossless compression is
+// preferred; when R is losslessly infeasible a dedicated lossy-selection
+// bandit takes over. OfflineEngine (offline.go) handles the disconnected
+// case: segments accumulate under a storage budget and are cascade-recoded
+// to roughly half size when usage crosses the threshold θ, with a
+// per-ratio-range bandit pool choosing the lossy codec.
+//
+// # Concurrency
+//
+// Both engines follow one contract: decisions are single-goroutine,
+// snapshots are concurrent. Process/ProcessPrepared (online) and Ingest
+// (offline) must be called from one goroutine at a time; Stats, Snapshot
+// and the estimate accessors may be polled from anywhere and return deep
+// copies. OnlineParallel (parallel.go) fans pure codec trials out across
+// Workers goroutines while a single sequencer makes every bandit decision
+// in arrival order, so a run at Workers: k is byte-identical to
+// Workers: 1 for the same seed (DESIGN.md §7).
+//
+// # Observability
+//
+// Config.Obs attaches the internal/obs substrate: per-codec trial-latency
+// histograms, selection counters and gauges, and one decision-trace event
+// per segment (online) or ingest/recode (offline), interleaved with the
+// bandit's select/update events. All events are emitted on the decision
+// goroutine and carry no wall-clock fields, so a seeded run reproduces
+// the identical trace at any Workers setting (DESIGN.md §9). A nil
+// observer disables everything at the cost of one branch per call site.
+package core

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/bandit"
 	"repro/internal/compress"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/store"
 )
@@ -85,6 +86,12 @@ type Config struct {
 	// exhausted the offline engine refuses further ingestion with
 	// ErrEnergyExhausted. 0 meters without enforcing.
 	EnergyBudgetJoules float64
+	// Obs attaches the observability substrate: counters, gauges and
+	// latency histograms in its Registry, one decision-trace event per
+	// bandit pull in its Ring. Nil (the default) disables instrumentation
+	// at the cost of one branch per call site — no registry lookups, no
+	// extra clock reads (see internal/obs and DESIGN.md §9).
+	Obs *obs.Observer
 	// Workers sizes the parallel codec-trial pool. 1 (the default) keeps
 	// the fully sequential path; set runtime.GOMAXPROCS(0) to fan codec
 	// trials out across cores. Online, OnlineParallel/RunOnlineSegments
@@ -151,14 +158,29 @@ func armNames(override, all []string) []string {
 	return out
 }
 
-// newPolicy builds the configured bandit policy.
-func newPolicy(cfg Config, arms int, seedOffset int64) bandit.Policy {
-	bc := cfg.Bandit
-	bc.Seed += seedOffset
+// newPolicy builds the configured bandit policy. name labels the
+// policy's decision-trace events (bandit.Config.Name) when cfg.Obs is
+// attached; an explicit cfg.Bandit.Trace/Name wins over the observer.
+func newPolicy(cfg Config, arms int, seedOffset int64, name string) bandit.Policy {
+	bc := banditConfig(cfg, seedOffset, name)
 	if cfg.UseUCB {
 		return bandit.NewUCB1(arms, bc)
 	}
 	return bandit.NewEpsilonGreedy(arms, bc)
+}
+
+// banditConfig derives one policy instance's config: seed offset applied,
+// trace sink and source label wired from the engine observer.
+func banditConfig(cfg Config, seedOffset int64, name string) bandit.Config {
+	bc := cfg.Bandit
+	bc.Seed += seedOffset
+	if bc.Trace == nil {
+		bc.Trace = cfg.Obs.Sink()
+	}
+	if bc.Name == "" {
+		bc.Name = name
+	}
+	return bc
 }
 
 // Result describes how one segment was handled.

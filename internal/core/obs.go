@@ -1,0 +1,239 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Engine instrumentation. Both engines cache their obs handles in a
+// metrics bundle built once at construction, so the hot path never does a
+// registry lookup. A nil bundle is the disabled configuration: every
+// method starts with a nil-receiver check, so disabled observability
+// costs one predictable branch per call site and performs no clock reads
+// beyond the ones the engines already make for Result.Duration.
+//
+// Trace events are emitted on the decision goroutine only (workers
+// prepare trials but never emit), in decision order, and carry no
+// wall-clock fields — a seeded run reproduces the identical event
+// sequence at any Workers setting (DESIGN.md §7, §9).
+
+// onlineMetrics is the OnlineEngine's cached obs handles.
+type onlineMetrics struct {
+	sink obs.TraceSink
+	reg  *obs.Registry
+
+	segments   *obs.Counter
+	lossless   *obs.Counter
+	lossy      *obs.Counter
+	violations *obs.Counter
+	infeasible *obs.Counter
+	specHits   *obs.Counter
+	specMisses *obs.Counter
+	stalePreps *obs.Counter
+
+	effTarget *obs.Gauge
+	pressure  *obs.Gauge
+
+	// compress memoizes per-codec trial-latency histograms. Only the
+	// decision goroutine touches the map (trial durations are recorded at
+	// decision time, even for worker-prepared trials), so it needs no lock.
+	compress map[string]*obs.Histogram
+}
+
+func newOnlineMetrics(o *obs.Observer) *onlineMetrics {
+	if o == nil {
+		return nil
+	}
+	reg := o.Registry()
+	return &onlineMetrics{
+		sink:       o.Sink(),
+		reg:        reg,
+		segments:   reg.Counter("core.online.segments"),
+		lossless:   reg.Counter("core.online.segments_lossless"),
+		lossy:      reg.Counter("core.online.segments_lossy"),
+		violations: reg.Counter("core.online.bandwidth_violations"),
+		infeasible: reg.Counter("core.online.no_feasible"),
+		specHits:   reg.Counter("core.online.spec_hits"),
+		specMisses: reg.Counter("core.online.spec_misses"),
+		stalePreps: reg.Counter("core.online.prepared_stale"),
+		effTarget:  reg.Gauge("core.online.effective_target"),
+		pressure:   reg.Gauge("core.online.pressure"),
+		compress:   make(map[string]*obs.Histogram),
+	}
+}
+
+// trial records one codec trial's duration (decision goroutine only).
+func (m *onlineMetrics) trial(codec string, d time.Duration) {
+	if m == nil {
+		return
+	}
+	h, ok := m.compress[codec]
+	if !ok {
+		h = m.reg.Histogram("core.online.compress_seconds."+codec, obs.LatencyBuckets)
+		m.compress[codec] = h
+	}
+	h.Observe(d.Seconds())
+}
+
+// spec records whether a consumed trial was a speculation hit or had to
+// be recomputed inline. Called only on the prepared path.
+func (m *onlineMetrics) spec(hit bool) {
+	if m == nil {
+		return
+	}
+	if hit {
+		m.specHits.Inc()
+	} else {
+		m.specMisses.Inc()
+	}
+}
+
+// stalePrep counts prepared segments discarded because the target moved.
+func (m *onlineMetrics) stalePrep() {
+	if m == nil {
+		return
+	}
+	m.stalePreps.Inc()
+}
+
+// decision records the per-segment outcome: counters, gauges, and the
+// one decision-trace event per bandit pull cycle.
+func (m *onlineMetrics) decision(res Result, target, pressure float64) {
+	if m == nil {
+		return
+	}
+	m.segments.Inc()
+	if res.Lossy {
+		m.lossy.Inc()
+	} else {
+		m.lossless.Inc()
+	}
+	m.effTarget.Set(target)
+	m.pressure.Set(pressure)
+	if m.sink != nil {
+		m.sink.Record(obs.Event{
+			Source: "core.online", Kind: "decision", ID: res.SegmentID,
+			Codec: res.Codec, Lossy: res.Lossy, Ratio: res.Ratio,
+			Reward: res.Reward, Target: target, Pressure: pressure,
+		})
+	}
+}
+
+// violation counts a segment whose egress exceeded the link capacity.
+func (m *onlineMetrics) violation() {
+	if m == nil {
+		return
+	}
+	m.violations.Inc()
+}
+
+// noFeasible records the hard failure: no codec can reach the target.
+func (m *onlineMetrics) noFeasible(id uint64, target, pressure float64) {
+	if m == nil {
+		return
+	}
+	m.infeasible.Inc()
+	if m.sink != nil {
+		m.sink.Record(obs.Event{
+			Source: "core.online", Kind: "no_feasible", ID: id,
+			Target: target, Pressure: pressure, Err: ErrNoFeasibleCodec.Error(),
+		})
+	}
+}
+
+// offlineMetrics is the OfflineEngine's cached obs handles.
+type offlineMetrics struct {
+	sink obs.TraceSink
+	reg  *obs.Registry
+
+	ingests   *obs.Counter
+	recodes   *obs.Counter
+	virtual   *obs.Counter
+	fallbacks *obs.Counter
+	skips     *obs.Counter
+
+	util   *obs.Gauge
+	stored *obs.Gauge
+
+	// recode memoizes per-codec recode-latency histograms; single ingest
+	// goroutine, no lock needed.
+	recode map[string]*obs.Histogram
+}
+
+func newOfflineMetrics(o *obs.Observer) *offlineMetrics {
+	if o == nil {
+		return nil
+	}
+	reg := o.Registry()
+	return &offlineMetrics{
+		sink:      o.Sink(),
+		reg:       reg,
+		ingests:   reg.Counter("core.offline.ingests"),
+		recodes:   reg.Counter("core.offline.recodes"),
+		virtual:   reg.Counter("core.offline.recodes_virtual"),
+		fallbacks: reg.Counter("core.offline.fallbacks"),
+		skips:     reg.Counter("core.offline.recode_skips"),
+		util:      reg.Gauge("core.offline.utilization"),
+		stored:    reg.Gauge("core.offline.segments_stored"),
+		recode:    make(map[string]*obs.Histogram),
+	}
+}
+
+// ingest records one stored segment: the lossless codec chosen and the
+// achieved ratio, plus the post-store space state.
+func (m *offlineMetrics) ingest(id uint64, codec string, ratio, util float64, stored int) {
+	if m == nil {
+		return
+	}
+	m.ingests.Inc()
+	m.util.Set(util)
+	m.stored.Set(float64(stored))
+	if m.sink != nil {
+		m.sink.Record(obs.Event{
+			Source: "core.offline", Kind: "ingest", ID: id,
+			Codec: codec, Ratio: ratio, Value: util,
+		})
+	}
+}
+
+// recoded records one completed recode (bandit-selected or fallback).
+// start is the recode's wall-clock begin; the elapsed time is read here,
+// after the nil check, so the disabled path adds no clock read.
+func (m *offlineMetrics) recoded(id uint64, codec string, target, ratio, reward, util float64, virtual, fallback bool, start time.Time) {
+	if m == nil {
+		return
+	}
+	d := time.Since(start)
+	m.recodes.Inc()
+	if virtual {
+		m.virtual.Inc()
+	}
+	kind := "recode"
+	if fallback {
+		m.fallbacks.Inc()
+		kind = "fallback"
+	}
+	h, ok := m.recode[codec]
+	if !ok {
+		h = m.reg.Histogram("core.offline.recode_seconds."+codec, obs.LatencyBuckets)
+		m.recode[codec] = h
+	}
+	h.Observe(d.Seconds())
+	m.util.Set(util)
+	if m.sink != nil {
+		m.sink.Record(obs.Event{
+			Source: "core.offline", Kind: kind, ID: id,
+			Codec: codec, Lossy: true, Ratio: ratio,
+			Reward: reward, Target: target, Value: util,
+		})
+	}
+}
+
+// recodeSkip counts recodes deferred for lack of CPU budget.
+func (m *offlineMetrics) recodeSkip() {
+	if m == nil {
+		return
+	}
+	m.skips.Inc()
+}

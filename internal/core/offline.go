@@ -45,6 +45,10 @@ type OfflineEngine struct {
 	energy       *EnergyMeter
 	costFn       func(op, codec string, points int) float64
 
+	// om caches the obs handles; nil when Config.Obs is unset. Events are
+	// emitted on the ingest goroutine only (see internal/core/obs.go).
+	om *offlineMetrics
+
 	// statsMu guards stats and accLoss so Stats/Snapshot can be polled
 	// while another goroutine (e.g. an OfflineRunner worker) ingests.
 	// Ingest itself stays single-goroutine; see the type comment.
@@ -111,15 +115,17 @@ func NewOfflineEngine(cfg Config) (*OfflineEngine, error) {
 			LossyUse:    make(map[string]int),
 		},
 	}
-	e.losslessMAB = newPolicy(cfg, len(e.losslessNames), 303)
+	e.losslessMAB = newPolicy(cfg, len(e.losslessNames), 303, "bandit.offline.lossless")
+	e.om = newOfflineMetrics(cfg.Obs)
 	factory := func(arms int, bc bandit.Config) bandit.Policy {
 		if cfg.UseUCB {
 			return bandit.NewUCB1(arms, bc)
 		}
 		return bandit.NewEpsilonGreedy(arms, bc)
 	}
-	bc := cfg.Bandit
-	bc.Seed += 404
+	// The pool stamps each ratio-range instance's Name with its bucket
+	// index, so trace events read "bandit.offline.lossy[2]" etc.
+	bc := banditConfig(cfg, 404, "bandit.offline.lossy")
 	bounds := []float64(nil) // default per-ratio-range pool
 	if cfg.SingleLossyMAB {
 		bounds = []float64{} // one bucket: the ablation configuration
@@ -219,6 +225,7 @@ func (e *OfflineEngine) Ingest(values []float64, label int) error {
 		return err
 	}
 	e.pool.Put(entry)
+	e.om.ingest(id, name, enc.Ratio(), e.storage.Utilization(), e.pool.Len())
 
 	// Threshold-triggered cascade recoding (paper Fig 4).
 	for e.storage.OverThreshold() {
@@ -245,6 +252,7 @@ func (e *OfflineEngine) makeRoom(need int64) error {
 func (e *OfflineEngine) recodeOne() bool {
 	if e.cfg.RecodeBudget && e.recodeBudget <= 0 {
 		e.mutStats(func(s *OfflineStats) { s.RecodeSkips++ })
+		e.om.recodeSkip()
 		return false
 	}
 	tried := 0
@@ -362,8 +370,10 @@ func (e *OfflineEngine) recodeEntry(victim *store.Entry) (bool, error) {
 			return false, err
 		}
 		mab.Update(arm, reward)
-		e.finishRecode(victim, newEnc, oldSize, accLoss, virtual, e.recodeCost(start, victim.Enc.Codec, codecName, victim.Enc.N, virtual))
+		oldCodec := victim.Enc.Codec
+		e.finishRecode(victim, newEnc, oldSize, accLoss, virtual, e.recodeCost(start, oldCodec, codecName, victim.Enc.N, virtual))
 		e.mutStats(func(s *OfflineStats) { s.LossyUse[codecName]++ })
+		e.om.recoded(victim.ID, codecName, target, newEnc.Ratio(), reward, e.storage.Utilization(), virtual, false, start)
 		return true, nil
 
 	default:
@@ -403,6 +413,7 @@ func (e *OfflineEngine) recodeEntry(victim *store.Entry) (bool, error) {
 			s.Fallbacks++
 			s.LossyUse[lc.Name()]++
 		})
+		e.om.recoded(victim.ID, lc.Name(), fallbackTarget, newEnc.Ratio(), 0, e.storage.Utilization(), virtual, true, start)
 		return true, nil
 	}
 }

@@ -53,6 +53,10 @@ type OnlineEngine struct {
 	energy *EnergyMeter
 	costFn func(op, codec string, points int) float64
 
+	// om caches the obs handles; nil when Config.Obs is unset. All event
+	// emission happens on the decision goroutine (see internal/core/obs.go).
+	om *onlineMetrics
+
 	statsMu sync.Mutex
 	stats   OnlineStats // guarded by statsMu
 }
@@ -119,8 +123,9 @@ func NewOnlineEngine(cfg Config) (*OnlineEngine, error) {
 	}
 	e.losslessViable.Store(true)
 	e.pressureBits.Store(math.Float64bits(1))
-	e.losslessMAB = newPolicy(cfg, len(e.losslessNames), 101)
-	e.lossyMAB = newPolicy(cfg, len(e.lossyNames), 202)
+	e.losslessMAB = newPolicy(cfg, len(e.losslessNames), 101, "bandit.online.lossless")
+	e.lossyMAB = newPolicy(cfg, len(e.lossyNames), 202, "bandit.online.lossy")
+	e.om = newOnlineMetrics(cfg.Obs)
 	e.costFn = cfg.CodecCost
 	if e.costFn == nil {
 		e.costFn = DefaultCodecCost
@@ -242,6 +247,7 @@ func (e *OnlineEngine) ProcessPrepared(prep *PreparedSegment) (Result, compress.
 		// Retarget (or a pressure change) happened after preparation:
 		// lossy trials assumed the old ratio. Lossless trials and
 		// MinRatio probes are target-independent and stay valid.
+		e.om.stalePrep()
 		prep = &PreparedSegment{
 			values:    prep.values,
 			label:     prep.label,
@@ -273,6 +279,7 @@ func (e *OnlineEngine) process(values []float64, prep *PreparedSegment) (Result,
 		res, enc, ok := e.processLossless(id, values, prep, target)
 		if ok {
 			e.account(res)
+			e.om.decision(res, target, e.Pressure())
 			return res, enc, nil
 		}
 	}
@@ -283,6 +290,7 @@ func (e *OnlineEngine) process(values []float64, prep *PreparedSegment) (Result,
 		return Result{}, compress.Encoded{}, err
 	}
 	e.account(res)
+	e.om.decision(res, target, e.Pressure())
 	return res, enc, nil
 }
 
@@ -328,6 +336,10 @@ func (e *OnlineEngine) processLossless(id uint64, values []float64, prep *Prepar
 			codec, _ := e.reg.Lookup(name)
 			t = runLosslessTrial(codec, values)
 		}
+		if prep != nil {
+			e.om.spec(ok)
+		}
+		e.om.trial(name, t.dur)
 		if t.err != nil {
 			e.losslessMAB.Update(arm, 0)
 			continue
@@ -371,6 +383,7 @@ func (e *OnlineEngine) processLossy(id uint64, values []float64, prep *PreparedS
 		}
 	}
 	if !feasible {
+		e.om.noFeasible(id, target, e.Pressure())
 		return Result{}, compress.Encoded{}, ErrNoFeasibleCodec
 	}
 	arm := e.lossyMAB.Select(allowed)
@@ -382,6 +395,10 @@ func (e *OnlineEngine) processLossy(id uint64, values []float64, prep *PreparedS
 		codec, _ := e.reg.Lookup(name)
 		t = runLossyTrial(codec.(compress.LossyCodec), values, target)
 	}
+	if prep != nil {
+		e.om.spec(ok)
+	}
+	e.om.trial(name, t.dur)
 	if t.err != nil {
 		e.lossyMAB.Update(arm, 0)
 		return Result{}, compress.Encoded{}, fmt.Errorf("core: %s at ratio %.3f: %w", name, target, t.err)
@@ -455,6 +472,7 @@ func (e *OnlineEngine) account(res Result) {
 	// I × 8 × ratio bytes.
 	if e.cfg.Bandwidth > 0 && !e.cfg.Bandwidth.Carries(e.cfg.IngestRate*8*res.Ratio) {
 		e.stats.BandwidthViolations++
+		e.om.violation()
 	}
 }
 

@@ -95,6 +95,136 @@ func TestOnlineStatsSnapshotIsolated(t *testing.T) {
 	}
 }
 
+// TestOnlineSnapshotMutateWhileRunning goes one step beyond polling: the
+// monitors actively WRITE to every map a snapshot accessor returns while
+// the parallel pipeline is deciding segments. If any accessor ever leaks
+// a live engine map again, -race flags the write against the accounting
+// goroutine immediately.
+func TestOnlineSnapshotMutateWhileRunning(t *testing.T) {
+	eng, err := NewOnlineEngine(Config{
+		TargetRatioOverride: 0.2,
+		Objective:           SingleTarget(TargetRatio),
+		Seed:                53,
+		Workers:             4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := NewOnlineParallel(eng, 0)
+	par.Start(context.Background())
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				st := eng.Stats()
+				for name := range st.CodecUse {
+					st.CodecUse[name] = -1
+				}
+				st.CodecUse["mutated"] = 1
+				for name, est := range eng.LossyEstimates() {
+					_ = est
+					delete(eng.LossyEstimates(), name)
+				}
+				le := eng.LosslessEstimates()
+				for name := range le {
+					le[name] = -99
+				}
+			}
+		}()
+	}
+	stream := datasets.NewCBFStream(datasets.CBFConfig{Seed: 101})
+	const segments = 150
+	for i := 0; i < segments; i++ {
+		v, label := stream.Next()
+		par.Submit(v, label)
+	}
+	if err := par.Close(); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+	st := eng.Stats()
+	if st.Segments != segments {
+		t.Fatalf("Segments = %d, want %d", st.Segments, segments)
+	}
+	sum := 0
+	for name, n := range st.CodecUse {
+		if name == "mutated" {
+			t.Fatal("monitor mutation leaked into the engine's codec-use map")
+		}
+		sum += n
+	}
+	if sum != segments {
+		t.Fatalf("codec-use sum = %d, want %d (mutations corrupted the engine)", sum, segments)
+	}
+}
+
+// TestOfflineSnapshotMutateWhileRunning is the offline counterpart:
+// monitors write into the maps Stats returns while the runner ingests.
+func TestOfflineSnapshotMutateWhileRunning(t *testing.T) {
+	eng, err := NewOfflineEngine(Config{
+		StorageBytes: 20 << 10,
+		Objective:    AggTarget(query.Sum),
+		Seed:         59,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	runner := NewOfflineRunner(eng, CollectorConfig{SegmentLength: 128})
+	runner.Start(context.Background())
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				st := eng.Stats()
+				for name := range st.LosslessUse {
+					st.LosslessUse[name] = -1
+				}
+				for name := range st.LossyUse {
+					delete(st.LossyUse, name)
+				}
+				st.LossyUse["mutated"] = 1
+			}
+		}()
+	}
+	stream := datasets.NewCBFStream(datasets.CBFConfig{Seed: 102})
+	const segments = 100
+	for i := 0; i < segments; i++ {
+		v, _ := stream.Next()
+		runner.Push(v)
+	}
+	if err := runner.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+	st := eng.Stats()
+	if st.SegmentsIngested != segments {
+		t.Fatalf("SegmentsIngested = %d, want %d", st.SegmentsIngested, segments)
+	}
+	if _, ok := st.LossyUse["mutated"]; ok {
+		t.Fatal("monitor mutation leaked into the engine's lossy-use map")
+	}
+}
+
 // TestOfflineStatsPollRace runs an OfflineRunner (the engine's real
 // concurrent client: the paper's collector thread) while monitors poll
 // Stats and Snapshot, the exact interleaving that raced on the shared

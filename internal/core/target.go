@@ -1,9 +1,3 @@
-// Package core implements the AdaEdge framework itself (paper §IV): the
-// online engine that selects compression under a bandwidth-derived target
-// ratio, the offline engine that evolves stored data within a storage
-// budget via cascade recoding, the optimization-target machinery (single
-// and weighted complex targets), and the bandit wiring that learns which
-// codec wins for the current data and workload.
 package core
 
 import (

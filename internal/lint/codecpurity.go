@@ -16,6 +16,9 @@ import (
 //
 //   - reading clocks or timers (time.Now, time.Since, time.Sleep, ...),
 //   - any use of math/rand, math/rand/v2, os, net, net/http or io/ioutil,
+//   - any use of repro/internal/obs (clocks and metrics belong to the
+//     engines and the obs substrate — a codec that records its own
+//     timings stops being a pure function),
 //   - writes to package-level state outside init functions.
 //
 // A codec that needs randomness must take a seed; one that needs the
@@ -48,6 +51,9 @@ var impurePkgs = map[string]bool{
 	"io/ioutil":    true,
 	"net":          true,
 	"net/http":     true,
+	// The observability substrate owns the clocks; instrumentation lives
+	// in the engines, never inside codecs (DESIGN.md §9).
+	"repro/internal/obs": true,
 }
 
 // clockFuncs are the time package functions that read or depend on the

@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"runtime"
+	"strconv"
+)
+
+// NewHandler builds the opt-in debug mux over a registry and a trace
+// ring (either may be nil — the corresponding endpoints then serve empty
+// snapshots). Endpoints:
+//
+//	/debug/metrics   JSON Snapshot of every counter, gauge and histogram,
+//	                 plus ring totals
+//	/debug/vars      expvar-style flat JSON: one key per counter/gauge,
+//	                 plus cmdline and memstats
+//	/debug/trace     JSON array of buffered trace events, oldest first;
+//	                 ?n=K returns only the newest K, ?source=S filters
+//	                 by event source
+//	/debug/pprof/    the standard net/http/pprof profiling index
+//
+// The mux is not registered on http.DefaultServeMux: exposure is the
+// caller's explicit choice (both CLIs gate it behind -debug-addr).
+func NewHandler(reg *Registry, ring *Ring) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, r *http.Request) {
+		type payload struct {
+			Snapshot
+			Trace struct {
+				Total   uint64 `json:"total"`
+				Dropped uint64 `json:"dropped"`
+				Len     int    `json:"len"`
+			} `json:"trace"`
+		}
+		var p payload
+		p.Snapshot = reg.Snapshot()
+		p.Trace.Total = ring.Total()
+		p.Trace.Dropped = ring.Dropped()
+		p.Trace.Len = ring.Len()
+		writeJSON(w, p)
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
+		snap := reg.Snapshot()
+		vars := make(map[string]any, len(snap.Counters)+len(snap.Gauges)+2)
+		for name, v := range snap.Counters {
+			vars[name] = v
+		}
+		for name, v := range snap.Gauges {
+			vars[name] = v
+		}
+		for name, h := range snap.Histograms {
+			vars[name] = map[string]any{"count": h.Count, "sum": h.Sum, "mean": h.Mean()}
+		}
+		vars["cmdline"] = os.Args
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		vars["memstats"] = ms
+		writeJSON(w, vars)
+	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		events := ring.Events()
+		if src := r.URL.Query().Get("source"); src != "" {
+			kept := events[:0]
+			for _, ev := range events {
+				if ev.Source == src {
+					kept = append(kept, ev)
+				}
+			}
+			events = kept
+		}
+		if s := r.URL.Query().Get("n"); s != "" {
+			if n, err := strconv.Atoi(s); err == nil && n >= 0 && n < len(events) {
+				events = events[len(events)-n:]
+			}
+		}
+		writeJSON(w, events)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

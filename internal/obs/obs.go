@@ -1,0 +1,117 @@
+// Package obs is the observability substrate for the AdaEdge
+// reproduction: a stdlib-only metrics and decision-tracing layer the rest
+// of the system reports through. It exists because the framework's whole
+// premise is that the bandit reacts to *measured* outcomes — ratio,
+// throughput, accuracy loss, uplink pressure — and those measurements
+// must be watchable live, not only as end-of-run statistics.
+//
+// Three primitives cover the needs of every subsystem:
+//
+//   - Counters and gauges: single atomic words, safe from any goroutine,
+//     readable while the hot path increments them (Registry, Counter,
+//     Gauge).
+//   - Fixed-bucket histograms: lock-free Observe on atomic bucket
+//     counters, for compress/decompress latency, frame RTT and spool
+//     depth distributions (Histogram).
+//   - A bounded in-memory ring of structured decision-trace events, one
+//     per bandit pull or delivery step (Event, Ring, TraceSink).
+//
+// The Observer type bundles a Registry and a Ring and is what engines and
+// transports accept in their configs. A nil Observer (the default
+// everywhere) disables instrumentation entirely: every metric method is
+// nil-receiver safe, so the instrumented hot paths pay one predictable
+// branch and no clock reads when observability is off. That property is
+// load-bearing — BenchmarkOnlineParallel must not regress when the layer
+// is disabled.
+//
+// # Clock ownership
+//
+// Codecs are pure functions (DESIGN.md §7) and must never read clocks;
+// the codecpurity analyzer additionally forbids importing this package
+// from the codec substrate. Timing therefore happens only at the
+// instrumented call sites (core, transport), which time the pure work
+// from outside and feed durations into histograms here.
+//
+// # Determinism
+//
+// Trace events deliberately carry no wall-clock fields. Events emitted by
+// a single decision goroutine (an engine's sequencer, an uplink's pump)
+// therefore form a deterministic sequence: the same seeded run produces
+// the same events in the same order, which is what lets the chaos and
+// determinism tests assert on event streams instead of scraping logs.
+// When several goroutines share one Ring, only per-goroutine order is
+// guaranteed. See DESIGN.md §9.
+//
+// # HTTP exposure
+//
+// Handler serves the whole substrate over an opt-in debug mux: a JSON
+// metrics snapshot, expvar-style vars, the trace ring, and net/http/pprof
+// profiling. Both CLIs expose it behind -debug-addr; OBSERVABILITY.md
+// catalogues every metric and endpoint.
+package obs
+
+import (
+	"net"
+	"net/http"
+)
+
+// Observer bundles the two halves of the substrate — a metric Registry
+// and a trace Ring — into the single handle engine and transport configs
+// accept. The zero-value-nil Observer disables instrumentation: all
+// methods are nil-receiver safe and return nil components, whose methods
+// are in turn nil-receiver safe.
+type Observer struct {
+	reg  *Registry
+	ring *Ring
+}
+
+// New builds an Observer with a fresh Registry and a trace Ring holding
+// up to ringCap events (DefaultRingCap when ringCap <= 0).
+func New(ringCap int) *Observer {
+	return &Observer{reg: NewRegistry(), ring: NewRing(ringCap)}
+}
+
+// Registry returns the metric registry, or nil on a nil Observer.
+func (o *Observer) Registry() *Registry {
+	if o == nil {
+		return nil
+	}
+	return o.reg
+}
+
+// Ring returns the trace ring, or nil on a nil Observer.
+func (o *Observer) Ring() *Ring {
+	if o == nil {
+		return nil
+	}
+	return o.ring
+}
+
+// Sink returns the Observer's trace sink as an interface, or a nil
+// interface on a nil Observer — callers can store the result and guard
+// emission with a plain `if sink != nil`.
+func (o *Observer) Sink() TraceSink {
+	if o == nil || o.ring == nil {
+		return nil
+	}
+	return o.ring
+}
+
+// Handler returns the debug HTTP mux over this Observer (see NewHandler).
+func (o *Observer) Handler() http.Handler {
+	return NewHandler(o.Registry(), o.Ring())
+}
+
+// Serve starts the debug endpoint on addr (":0" picks an ephemeral port)
+// and returns the bound address plus a stop function that closes the
+// listener. The server goroutine exits when stop is called.
+func (o *Observer) Serve(addr string) (net.Addr, func() error, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	srv := &http.Server{Handler: o.Handler()}
+	go func() { _ = srv.Serve(ln) }()
+	stop := func() error { return srv.Close() }
+	return ln.Addr(), stop, nil
+}

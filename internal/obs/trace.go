@@ -1,0 +1,150 @@
+package obs
+
+import "sync"
+
+// Event is one structured entry of the decision trace. It deliberately
+// carries no wall-clock fields: every field is a pure function of the
+// seeded run, so event sequences emitted from a single decision goroutine
+// are reproducible and comparable across runs (DESIGN.md §9). Unused
+// fields stay at their zero values; Kind determines which are meaningful.
+type Event struct {
+	// Seq is the ring-assigned sequence number (first event is 1).
+	// Assigned by Ring.Record; zero until then.
+	Seq uint64 `json:"seq"`
+	// Source names the emitting component, e.g. "core.online",
+	// "bandit.online.lossy", "uplink", "collector".
+	Source string `json:"source"`
+	// Kind is the event type within the source, e.g. "decision",
+	// "select", "update", "dial", "send", "ack", "backoff", "deliver",
+	// "redeliver".
+	Kind string `json:"kind"`
+	// ID is the segment/frame ID, ACK watermark, or dial ordinal,
+	// depending on Kind.
+	ID uint64 `json:"id"`
+	// Arm is the bandit arm index (-1 when not applicable).
+	Arm int `json:"arm"`
+	// Codec is the codec name for selection/decision events.
+	Codec string `json:"codec,omitempty"`
+	// Lossy reports the phase for decision events.
+	Lossy bool `json:"lossy,omitempty"`
+	// Ratio is the achieved compression ratio.
+	Ratio float64 `json:"ratio,omitempty"`
+	// Reward is the bandit reward observed (decision/update events).
+	Reward float64 `json:"reward,omitempty"`
+	// Target is the effective target ratio at decision time.
+	Target float64 `json:"target,omitempty"`
+	// Pressure is the uplink-pressure throttle at decision time.
+	Pressure float64 `json:"pressure,omitempty"`
+	// Value is a kind-specific number: the post-update estimate for
+	// bandit updates, the backoff wait in seconds for backoff events,
+	// the spool depth for send events.
+	Value float64 `json:"value,omitempty"`
+	// Err carries the failure text for *-fail events.
+	Err string `json:"err,omitempty"`
+}
+
+// TraceSink receives trace events. Implementations must be safe for
+// concurrent use and must not block: Record runs on decision and pump
+// goroutines. Ring is the standard implementation; tests may supply a
+// SinkFunc.
+type TraceSink interface {
+	Record(Event)
+}
+
+// SinkFunc adapts a function to TraceSink. The function receives the
+// event exactly as emitted (Seq unassigned).
+type SinkFunc func(Event)
+
+// Record implements TraceSink.
+func (f SinkFunc) Record(ev Event) { f(ev) }
+
+// DefaultRingCap bounds the trace ring when no capacity is configured:
+// large enough to hold a whole CLI run's decisions, small enough to be
+// harmless on an edge-sized heap.
+const DefaultRingCap = 8192
+
+// Ring is a bounded in-memory event buffer: Record appends (dropping the
+// oldest event once full), Events snapshots in emission order. It is the
+// canonical TraceSink. A nil Ring ignores Record and returns empty
+// snapshots.
+type Ring struct {
+	mu      sync.Mutex
+	buf     []Event // guarded by mu
+	start   int     // guarded by mu; index of the oldest event
+	n       int     // guarded by mu; live event count
+	total   uint64  // guarded by mu; events ever recorded
+	dropped uint64  // guarded by mu; events evicted by the bound
+}
+
+// NewRing builds a ring holding up to capacity events (DefaultRingCap
+// when capacity <= 0).
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = DefaultRingCap
+	}
+	return &Ring{buf: make([]Event, capacity)}
+}
+
+// Record implements TraceSink: it stamps the event's Seq (1-based, in
+// record order) and appends, evicting the oldest event when full.
+func (r *Ring) Record(ev Event) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.total++
+	ev.Seq = r.total
+	i := (r.start + r.n) % len(r.buf)
+	r.buf[i] = ev
+	if r.n < len(r.buf) {
+		r.n++
+	} else {
+		r.start = (r.start + 1) % len(r.buf)
+		r.dropped++
+	}
+	r.mu.Unlock()
+}
+
+// Events returns a copy of the buffered events, oldest first.
+func (r *Ring) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, r.n)
+	for i := 0; i < r.n; i++ {
+		out[i] = r.buf[(r.start+i)%len(r.buf)]
+	}
+	return out
+}
+
+// Total returns how many events were ever recorded (0 on nil).
+func (r *Ring) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Dropped returns how many events the bound evicted (0 on nil).
+func (r *Ring) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Len returns the number of buffered events (0 on nil).
+func (r *Ring) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}

@@ -1,0 +1,16 @@
+// Package sim models the hardware environment AdaEdge is constrained by:
+// network links of fixed capacity, bounded local storage with a recoding
+// threshold, and sensor ingestion rates. The paper ran on real servers but
+// imposed artificial hard limits ("we set hard limits in the experiments…
+// the experiments fail if any of these constraints are breached", §V);
+// this package makes those limits explicit, deterministic values.
+//
+// Bandwidth presets (Net2G…Net5G) are sized so a 4 M pts/s double-typed
+// signal reproduces the paper's Fig 3 feasibility story, and
+// Bandwidth.TargetRatio derives the online engine's provisional target
+// R = B/(64 × I). Storage tracks compressed bytes against a budget with a
+// recoding threshold θ, and its accounting feeds the offline engine's
+// cascade trigger. Everything here is pure arithmetic over configured
+// values — no wall clocks, no randomness — so simulation runs stay
+// reproducible across hosts.
+package sim

@@ -1,9 +1,3 @@
-// Package sim models the hardware environment AdaEdge is constrained by:
-// network links of fixed capacity, bounded local storage with a recoding
-// threshold, and sensor ingestion rates. The paper ran on real servers but
-// imposed artificial hard limits ("we set hard limits in the experiments…
-// the experiments fail if any of these constraints are breached", §V);
-// this package makes those limits explicit, deterministic values.
 package sim
 
 import (

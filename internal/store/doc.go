@@ -1,0 +1,16 @@
+// Package store implements AdaEdge's segment management (paper §IV-F): the
+// uncompressed ingest buffer, the compressed buffer pool, and pluggable
+// compression-ordering policies behind the standard GET/PUT API, with the
+// paper's LRU-based policy as the default and a round-robin (RRDTool-style
+// oldest-first) policy for comparison.
+//
+// Pool is the compressed-segment home: Put admits an Entry, Get retrieves
+// it (touching LRU recency), and Victim hands the policy's next recoding
+// candidate to the offline engine's cascade. Entries carry the codec
+// metadata and recode level the cascade needs, plus an optional EvalRaw
+// ground-truth copy that exists only for reward evaluation and is never
+// charged against the storage budget. All containers are mutex-guarded
+// and safe for concurrent use; iteration order and victim selection are
+// deterministic functions of the access history, keeping seeded runs
+// reproducible (DESIGN.md §7).
+package store

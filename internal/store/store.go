@@ -1,8 +1,3 @@
-// Package store implements AdaEdge's segment management (paper §IV-F): the
-// uncompressed ingest buffer, the compressed buffer pool, and pluggable
-// compression-ordering policies behind the standard GET/PUT API, with the
-// paper's LRU-based policy as the default and a round-robin (RRDTool-style
-// oldest-first) policy for comparison.
 package store
 
 import (

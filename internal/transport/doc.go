@@ -1,0 +1,36 @@
+// Package transport ships compressed segments over a network connection —
+// the egress stage of AdaEdge's online mode ("we send out those segments
+// through a network protocol", paper §IV-B1). The wire format is a
+// varint-framed stream of self-describing segments carrying the codec
+// metadata the receiver needs to decompress (paper §IV-C: "each segment …
+// is associated with metadata describing its compression configurations").
+//
+// Frame layout (little-endian, one frame per segment):
+//
+//	magic "AES1"
+//	uvarint id | zigzag-varint label | uvarint len(codec) | codec |
+//	uvarint N | uvarint len(data) | data
+//
+// The plain Writer/Reader pair streams frames fire-and-forget; the stream
+// ends with the sender closing its side and no trailer is needed.
+//
+// # Reliable delivery
+//
+// ResilientUplink (resilient.go) layers fault tolerance on top: frames
+// are journaled into a bounded Spool before any network I/O, a single
+// pump goroutine sends them in frame→ACK lockstep, and on any error the
+// uplink redials with seeded exponential-backoff jitter and resends from
+// the first unacknowledged frame. Collector (server.go) is the receiving
+// side: a per-device ACK watermark makes redelivered frames idempotent,
+// so the pair provides exactly-once delivery to the sink (DESIGN.md §8).
+//
+// # Observability
+//
+// ResilientConfig.Obs instruments the uplink (dial/send/ack/backoff
+// counters, spool-depth and RTT histograms, and one trace event per
+// lifecycle transition, all emitted from the pump goroutine in order);
+// Collector.Instrument attaches the receiving side (frame, duplicate and
+// bad-connection counters plus deliver/redeliver events). Event fields
+// carry no wall clocks, so seeded chaos runs compare traces byte-for-byte
+// (DESIGN.md §9).
+package transport

@@ -1,0 +1,183 @@
+package transport
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Transport instrumentation. The uplink mirrors its delivery trace
+// (Event) into obs counters and the trace ring; the collector counts
+// deliveries, redeliveries and bad connections. As in core, a nil bundle
+// is the disabled configuration and costs one branch per call site.
+//
+// Ordering note: all uplink events are emitted by the single pump
+// goroutine, so their ring order is deterministic for a fixed fault
+// schedule and seed. Collector events come from per-connection handler
+// goroutines; only per-device order and the totals are deterministic,
+// which is what the chaos test asserts (DESIGN.md §9).
+
+// uplinkMetrics is the ResilientUplink's cached obs handles.
+type uplinkMetrics struct {
+	sink obs.TraceSink
+
+	dials     *obs.Counter
+	dialFails *obs.Counter
+	sends     *obs.Counter
+	sendFails *obs.Counter
+	acks      *obs.Counter
+	ackFails  *obs.Counter
+	backoffs  *obs.Counter
+	rejects   *obs.Counter
+
+	pending *obs.Gauge
+	depth   *obs.Histogram
+	rtt     *obs.Histogram
+}
+
+func newUplinkMetrics(o *obs.Observer) *uplinkMetrics {
+	if o == nil {
+		return nil
+	}
+	reg := o.Registry()
+	return &uplinkMetrics{
+		sink:      o.Sink(),
+		dials:     reg.Counter("transport.uplink.dials"),
+		dialFails: reg.Counter("transport.uplink.dial_failures"),
+		sends:     reg.Counter("transport.uplink.sends"),
+		sendFails: reg.Counter("transport.uplink.send_failures"),
+		acks:      reg.Counter("transport.uplink.acks"),
+		ackFails:  reg.Counter("transport.uplink.ack_failures"),
+		backoffs:  reg.Counter("transport.uplink.backoffs"),
+		rejects:   reg.Counter("transport.uplink.spool_rejects"),
+		pending:   reg.Gauge("transport.uplink.pending"),
+		depth:     reg.Histogram("transport.uplink.spool_depth", obs.DepthBuckets),
+		rtt:       reg.Histogram("transport.uplink.rtt_seconds", obs.LatencyBuckets),
+	}
+}
+
+// event mirrors one delivery-trace Event into counters and the ring.
+// Backoff delays land in Event.Value as seconds; they come from the
+// seeded jitter generator, not a clock, so the event stream stays
+// reproducible.
+func (m *uplinkMetrics) event(e Event) {
+	if m == nil {
+		return
+	}
+	switch e.Kind {
+	case "dial":
+		m.dials.Inc()
+	case "dial-fail":
+		m.dialFails.Inc()
+	case "send":
+		m.sends.Inc()
+	case "send-fail":
+		m.sendFails.Inc()
+	case "ack":
+		m.acks.Inc()
+	case "ack-fail":
+		m.ackFails.Inc()
+	case "backoff":
+		m.backoffs.Inc()
+	}
+	if m.sink != nil {
+		ev := obs.Event{Source: "transport.uplink", Kind: e.Kind, ID: e.ID, Err: e.Err}
+		if e.Kind == "backoff" {
+			ev.Value = e.Wait.Seconds()
+		}
+		m.sink.Record(ev)
+	}
+}
+
+// spoolDepth records the backlog after an append or an ACK advance.
+func (m *uplinkMetrics) spoolDepth(n int) {
+	if m == nil {
+		return
+	}
+	m.pending.Set(float64(n))
+	m.depth.Observe(float64(n))
+}
+
+// reject counts frames the bounded spool refused (caller sheds them).
+func (m *uplinkMetrics) reject() {
+	if m == nil {
+		return
+	}
+	m.rejects.Inc()
+}
+
+// rttStart and rttDone bracket one frame→ACK round trip. The clock is
+// only read when instrumentation is attached.
+func (m *uplinkMetrics) rttStart() time.Time {
+	if m == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+func (m *uplinkMetrics) rttDone(start time.Time) {
+	if m == nil {
+		return
+	}
+	m.rtt.Observe(time.Since(start).Seconds())
+}
+
+// collectorMetrics is the Collector's cached obs handles.
+type collectorMetrics struct {
+	sink obs.TraceSink
+
+	frames     *obs.Counter
+	duplicates *obs.Counter
+	badConns   *obs.Counter
+}
+
+func newCollectorMetrics(o *obs.Observer) *collectorMetrics {
+	if o == nil {
+		return nil
+	}
+	reg := o.Registry()
+	return &collectorMetrics{
+		sink:       o.Sink(),
+		frames:     reg.Counter("transport.collector.frames"),
+		duplicates: reg.Counter("transport.collector.duplicates"),
+		badConns:   reg.Counter("transport.collector.bad_conns"),
+	}
+}
+
+// frame records one received frame: delivered to the sink, or dropped as
+// a redelivery by the per-device watermark. Event.Value carries the
+// device ID.
+func (m *collectorMetrics) frame(deviceID, frameID uint64, delivered bool) {
+	if m == nil {
+		return
+	}
+	kind := "deliver"
+	if delivered {
+		m.frames.Inc()
+	} else {
+		m.duplicates.Inc()
+		kind = "redeliver"
+	}
+	if m.sink != nil {
+		m.sink.Record(obs.Event{
+			Source: "transport.collector", Kind: kind,
+			ID: frameID, Value: float64(deviceID),
+		})
+	}
+}
+
+// legacyFrame records one fire-and-forget frame (no device watermark).
+func (m *collectorMetrics) legacyFrame() {
+	if m == nil {
+		return
+	}
+	m.frames.Inc()
+}
+
+// badConn records a connection dropped on malformed input.
+func (m *collectorMetrics) badConn() {
+	if m == nil {
+		return
+	}
+	m.badConns.Inc()
+}

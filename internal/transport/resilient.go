@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/store"
 )
 
@@ -32,6 +33,8 @@ type ResilientUplink struct {
 	work  chan struct{}
 	done  chan struct{}
 	wg    sync.WaitGroup
+	// om caches the obs handles; nil when ResilientConfig.Obs is unset.
+	om *uplinkMetrics
 
 	mu     sync.Mutex
 	conn   net.Conn // current connection, nil between dials; guarded by mu
@@ -80,6 +83,11 @@ type ResilientConfig struct {
 	// OnEvent observes the delivery trace (dials, sends, ACKs, backoff).
 	// Called from the pump goroutine; must not block.
 	OnEvent func(Event)
+	// Obs mirrors the delivery trace into the observability substrate:
+	// per-kind counters, a spool-depth gauge/histogram, a frame→ACK RTT
+	// histogram, and one trace-ring event per delivery-trace Event. Nil
+	// disables at the cost of one branch per event.
+	Obs *obs.Observer
 }
 
 // Event is one entry of the uplink's delivery trace.
@@ -155,6 +163,7 @@ func DialResilient(cfg ResilientConfig) (*ResilientUplink, error) {
 		boff: newBackoff(cfg.BackoffBase, cfg.BackoffMax, cfg.Seed),
 		work: make(chan struct{}, 1),
 		done: make(chan struct{}),
+		om:   newUplinkMetrics(cfg.Obs),
 	}
 	u.spool = store.NewSpool(cfg.SpoolSegments, cfg.SpoolBytes, cfg.HighWater, cfg.OnPressure)
 	u.wg.Add(1)
@@ -174,7 +183,11 @@ func (u *ResilientUplink) Send(f Frame) error {
 	}
 	err := u.spool.Append(&store.Entry{ID: f.ID, Label: f.Label, Enc: f.Enc})
 	if err != nil {
+		u.om.reject()
 		return err
+	}
+	if u.om != nil {
+		u.om.spoolDepth(u.spool.Len())
 	}
 	select {
 	case u.work <- struct{}{}:
@@ -237,6 +250,7 @@ func (u *ResilientUplink) event(e Event) {
 	if u.cfg.OnEvent != nil {
 		u.cfg.OnEvent(e)
 	}
+	u.om.event(e)
 }
 
 // sleep waits d or until Close, reporting whether the uplink is still
@@ -357,6 +371,7 @@ func (u *ResilientUplink) sendOne(e *store.Entry) error {
 	if conn == nil {
 		return net.ErrClosed
 	}
+	rttFrom := u.om.rttStart()
 	_ = conn.SetWriteDeadline(time.Now().Add(u.cfg.WriteTimeout))
 	err := w.Send(Frame{ID: e.ID, Label: e.Label, Enc: e.Enc})
 	if err == nil {
@@ -382,7 +397,11 @@ func (u *ResilientUplink) sendOne(e *store.Entry) error {
 		u.event(Event{Kind: "ack-fail", ID: e.ID, Err: err.Error()})
 		return err
 	}
+	u.om.rttDone(rttFrom)
 	u.spool.AckBelow(next)
+	if u.om != nil {
+		u.om.spoolDepth(u.spool.Len())
+	}
 	u.event(Event{Kind: "ack", ID: next})
 	u.boff.reset()
 	return nil

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/compress"
+	"repro/internal/obs"
 )
 
 // Collector state errors.
@@ -39,6 +40,9 @@ const ackWriteTimeout = 10 * time.Second
 type Collector struct {
 	reg  *compress.Registry
 	sink func(Frame, []float64)
+	// om caches the obs handles; nil until Instrument. Written before
+	// Serve (see Instrument), read by handler goroutines.
+	om *collectorMetrics
 
 	mu         sync.Mutex
 	ln         net.Listener // guarded by mu
@@ -71,6 +75,15 @@ func NewCollector(reg *compress.Registry, sink func(Frame, []float64)) *Collecto
 		conns:   make(map[net.Conn]struct{}),
 		devices: make(map[uint64]*deviceState),
 	}
+}
+
+// Instrument attaches the observability substrate: delivery/redelivery
+// counters and one trace-ring event per received frame (Source
+// "transport.collector"). Must be called before Serve; a nil observer is
+// a no-op. Returns the collector for chaining.
+func (c *Collector) Instrument(o *obs.Observer) *Collector {
+	c.om = newCollectorMetrics(o)
+	return c
 }
 
 // Serve listens on addr ("127.0.0.1:0" for an ephemeral test port) and
@@ -149,6 +162,7 @@ func (c *Collector) handleLegacy(br *bufio.Reader) {
 		c.mu.Lock()
 		c.frames++
 		c.mu.Unlock()
+		c.om.legacyFrame()
 		c.sink(frame, c.decode(frame))
 	}
 }
@@ -192,6 +206,7 @@ func (c *Collector) handleReliable(conn net.Conn, br *bufio.Reader) {
 		}
 		ackNext := dev.next
 		c.mu.Unlock()
+		c.om.frame(deviceID, frame.ID, deliver)
 		if deliver {
 			c.sink(frame, c.decode(frame))
 		}
@@ -220,6 +235,7 @@ func (c *Collector) noteBadConn() {
 	c.mu.Lock()
 	c.badConns++
 	c.mu.Unlock()
+	c.om.badConn()
 }
 
 // Frames returns the number of frames delivered to the sink so far

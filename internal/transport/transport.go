@@ -1,17 +1,3 @@
-// Package transport ships compressed segments over a network connection —
-// the egress stage of AdaEdge's online mode ("we send out those segments
-// through a network protocol", paper §IV-B1). The wire format is a
-// varint-framed stream of self-describing segments carrying the codec
-// metadata the receiver needs to decompress (paper §IV-C: "each segment …
-// is associated with metadata describing its compression configurations").
-//
-// Frame layout (little-endian, one frame per segment):
-//
-//	magic "AES1"
-//	uvarint id | zigzag-varint label | uvarint len(codec) | codec |
-//	uvarint N | uvarint len(data) | data
-//
-// The stream ends with the sender closing its side; no trailer is needed.
 package transport
 
 import (

@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# obs_smoke.sh — end-to-end check of the observability surface.
+#
+# Builds cmd/adaedge, runs it with -debug-addr 127.0.0.1:0 (the ephemeral
+# port path the acceptance criterion names) and -linger so the process
+# survives past the run, parses the printed listen address, and fetches
+# every debug endpoint: /debug/metrics must contain a known engine
+# counter, /debug/vars the expvar staples, /debug/trace real decision
+# events, and /debug/pprof/ must serve. Run via `make obs-smoke`.
+set -euo pipefail
+
+GO=${GO:-go}
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+pid=""
+cleanup() {
+	[ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+	rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+fetch() {
+	if command -v curl >/dev/null 2>&1; then
+		curl -fsS --max-time 10 "$1"
+	else
+		wget -qO- -T 10 "$1"
+	fi
+}
+
+"$GO" build -o "$tmp/adaedge" ./cmd/adaedge
+"$tmp/adaedge" -mode online -ratio 0.1 -segments 50 \
+	-debug-addr 127.0.0.1:0 -linger 60s >"$tmp/out.log" 2>&1 &
+pid=$!
+
+addr=""
+for _ in $(seq 1 100); do
+	addr=$(sed -n 's/^debug listening on //p' "$tmp/out.log" | head -1)
+	[ -n "$addr" ] && break
+	kill -0 "$pid" 2>/dev/null || { echo "adaedge exited early:"; cat "$tmp/out.log"; exit 1; }
+	sleep 0.1
+done
+[ -n "$addr" ] || { echo "no 'debug listening on' line:"; cat "$tmp/out.log"; exit 1; }
+
+# Give the run a moment to finish its 50 segments so counters are final.
+for _ in $(seq 1 100); do
+	grep -q '^segments:' "$tmp/out.log" && break
+	sleep 0.1
+done
+
+metrics=$(fetch "http://$addr/debug/metrics")
+echo "$metrics" | grep -q '"core.online.segments"' ||
+	{ echo "metrics missing core.online.segments: $metrics"; exit 1; }
+echo "$metrics" | grep -q '"histograms"' ||
+	{ echo "metrics missing histograms block"; exit 1; }
+
+vars=$(fetch "http://$addr/debug/vars")
+echo "$vars" | grep -q '"memstats"' ||
+	{ echo "vars missing memstats"; exit 1; }
+
+trace=$(fetch "http://$addr/debug/trace?n=5")
+echo "$trace" | grep -q '"kind"' ||
+	{ echo "trace returned no events"; exit 1; }
+
+fetch "http://$addr/debug/pprof/" >/dev/null ||
+	{ echo "pprof index unreachable"; exit 1; }
+
+kill "$pid"
+pid=""
+echo "obs-smoke OK (served on $addr)"
