@@ -8,7 +8,7 @@ VETTOOL := $(BIN)/adaedge-lint
 # Per-target fuzz time for the smoke pass (CI uses the same value).
 FUZZTIME ?= 20s
 
-.PHONY: all build vet lint test race fuzz-smoke obs-smoke ci clean
+.PHONY: all build vet lint test race fuzz-smoke obs-smoke bench-json ci clean
 
 all: build
 
@@ -51,6 +51,16 @@ fuzz-smoke:
 # endpoint (metrics, vars, trace, pprof) end to end; see OBSERVABILITY.md.
 obs-smoke:
 	./scripts/obs_smoke.sh
+
+# bench-json runs the continuous benchmark matrix and writes the next free
+# BENCH_<n>.json in the repo root, then re-validates it against the schema.
+# BENCHSEGMENTS scales the workload (CI uses a short scale).
+BENCHSEGMENTS ?= 160
+bench-json:
+	@n=0; while [ -e BENCH_$$n.json ]; do n=$$((n+1)); done; \
+	out=BENCH_$$n.json; \
+	$(GO) run ./cmd/adaedge-bench -exp bench -segments $(BENCHSEGMENTS) -json $$out && \
+	$(GO) run ./cmd/adaedge-bench -validate $$out
 
 ci: build vet lint race obs-smoke
 

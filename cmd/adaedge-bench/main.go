@@ -20,14 +20,30 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: fig2,fig3,fig5,fig6,fig7,fig8,fig9,fig10,fig11,fig12,fig13,fig14,fig15,scale,parallel,headline,all")
+	exp := flag.String("exp", "all", "experiment to run: fig2,fig3,fig5,fig6,fig7,fig8,fig9,fig10,fig11,fig12,fig13,fig14,fig15,scale,parallel,headline,bench,all")
 	segments := flag.Int("segments", 0, "stream length in segments (0 = experiment default)")
 	budget := flag.Int64("budget", 0, "offline storage budget in bytes (0 = default)")
 	workers := flag.Int("workers", 0, "parallel experiment: measure only this worker count (0 = the 1,2,4,8 ladder)")
 	model := flag.String("model", "", "fig7 model kind: dtree|rforest|knn|kmeans (default: all four)")
 	format := flag.String("format", "text", "output format: text|csv (csv supports fig2,3,5,6,7,8,9,10,11,12,13,14)")
 	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof (and the obs endpoints) on this address while experiments run; empty disables")
+	jsonPath := flag.String("json", "", "bench experiment: write the schema-versioned BENCH document to this path")
+	validate := flag.String("validate", "", "validate an existing BENCH_*.json against the schema and exit")
 	flag.Parse()
+
+	if *validate != "" {
+		data, err := os.ReadFile(*validate)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := experiments.ValidateBenchJSON(data); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: valid (schema version %d)\n", *validate, experiments.BenchSchemaVersion)
+		return
+	}
 
 	if *debugAddr != "" {
 		observer := obs.New(0)
@@ -136,6 +152,20 @@ func main() {
 			experiments.ParallelScalability(w, counts, *segments)
 		case "headline":
 			experiments.HeadlineClaims(w, *segments)
+		case "bench":
+			cfg := experiments.BenchConfig{Segments: *segments}
+			if *workers > 0 {
+				cfg.Workers = []int{*workers}
+			}
+			if *jsonPath != "" {
+				fmt.Fprintf(w, "continuous benchmark -> %s\n", *jsonPath)
+				_, err := experiments.WriteBenchJSON(w, cfg, *jsonPath)
+				emit(err)
+			} else {
+				fmt.Fprintln(w, "continuous benchmark (use -json PATH to persist)")
+				_, err := experiments.RunBench(w, cfg)
+				emit(err)
+			}
 		default:
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
 			os.Exit(2)

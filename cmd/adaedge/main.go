@@ -24,6 +24,7 @@ import (
 	"repro/internal/datasets"
 	"repro/internal/ml"
 	"repro/internal/obs"
+	"repro/internal/obs/quality"
 	"repro/internal/query"
 	"repro/internal/sim"
 	"repro/internal/store"
@@ -41,6 +42,8 @@ func main() {
 	verbose := flag.Bool("v", false, "print the per-segment selection trace")
 	policy := flag.String("policy", "lru", "offline recoding policy: lru|roundrobin|informativeness")
 	ucb := flag.Bool("ucb", false, "use UCB1 instead of optimistic ε-greedy")
+	banditName := flag.String("bandit", "", "selection policy: egreedy|ucb|gradient (empty = egreedy; -ucb wins when set)")
+	qualityEvery := flag.Int("quality", 0, "online decision-quality oracle: score every Nth decision (0 disables); snapshot at /debug/quality")
 	extended := flag.Bool("extended", false, "add the modelar and summary codecs to the candidate set")
 	workers := flag.Int("workers", 1, "codec-trial worker goroutines (1 = sequential; results are identical at any count)")
 	debugAddr := flag.String("debug-addr", "", "serve /debug/{metrics,vars,trace,pprof} on this address (e.g. 127.0.0.1:0); empty disables")
@@ -59,7 +62,11 @@ func main() {
 		Objective:           obj,
 		Seed:                *seed,
 		UseUCB:              *ucb,
+		BanditPolicy:        *banditName,
 		Workers:             *workers,
+	}
+	if *qualityEvery > 0 {
+		cfg.Quality = &quality.Config{SampleEvery: *qualityEvery}
 	}
 	if *debugAddr != "" {
 		observer := obs.New(0)
@@ -186,6 +193,13 @@ func runOnline(cfg core.Config, stream *datasets.CBFStream, segments int, verbos
 	fmt.Printf("overall ratio: %.4f   mean accuracy loss: %.4f\n", st.OverallRatio(), st.MeanAccuracyLoss())
 	fmt.Printf("bandwidth violations: %d\n", st.BandwidthViolations)
 	printUse("codec use", st.CodecUse)
+	if tr := eng.Quality(); tr != nil {
+		q := tr.Snapshot()
+		fmt.Printf("decision quality: cumulative regret %.4f over %d samples (mean %.4f, windowed %.4f)\n",
+			q.CumulativeRegret, q.Samples, q.MeanRegret, q.WindowedRegret)
+		fmt.Printf("  optimal-arm rate %.2f   arm switches %d   held %q for %d decisions\n",
+			q.OptimalRate, q.ArmSwitches, q.HeldCodec, q.SinceSwitch)
+	}
 }
 
 func runOffline(cfg core.Config, stream *datasets.CBFStream, segments int, verbose bool) {

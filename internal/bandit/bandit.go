@@ -19,6 +19,17 @@ type Policy interface {
 	Update(arm int, reward float64)
 	// Estimates returns a copy of the current per-arm value estimates.
 	Estimates() []float64
+	// EstimatesInto copies the estimates into dst, reusing its backing
+	// array when it is large enough, and returns the filled slice. A
+	// right-sized dst makes the call allocation-free — the accessor hot
+	// paths (speculative preparation, regret oracles) poll estimates per
+	// segment and must not allocate under the policy lock.
+	EstimatesInto(dst []float64) []float64
+	// RewardsInto copies the per-arm cumulative observed rewards into dst
+	// under the same reuse contract as EstimatesInto. Unlike Estimates,
+	// which may be a decayed or preference-based quantity, rewards are the
+	// raw sums fed to Update — the attribution ledger.
+	RewardsInto(dst []float64) []float64
 	// Counts returns a copy of the per-arm play counts.
 	Counts() []int
 	// Arms returns the number of arms.
@@ -88,11 +99,12 @@ func (c Config) rng() *rand.Rand {
 // uniformly random arm otherwise. With Optimism > 0 it becomes the
 // optimistic ε-greedy variant used throughout the paper's evaluation.
 type EpsilonGreedy struct {
-	mu     sync.Mutex
-	cfg    Config
-	rng    *rand.Rand
-	values []float64
-	counts []int
+	mu      sync.Mutex
+	cfg     Config
+	rng     *rand.Rand
+	values  []float64
+	counts  []int
+	rewards []float64
 }
 
 // NewEpsilonGreedy builds the policy for the given arm count.
@@ -103,6 +115,7 @@ func NewEpsilonGreedy(arms int, cfg Config) *EpsilonGreedy {
 	p := &EpsilonGreedy{cfg: cfg, rng: cfg.rng()}
 	p.values = make([]float64, arms)
 	p.counts = make([]int, arms)
+	p.rewards = make([]float64, arms)
 	p.init()
 	return p
 }
@@ -111,6 +124,7 @@ func (p *EpsilonGreedy) init() {
 	for i := range p.values {
 		p.values[i] = p.cfg.Optimism
 		p.counts[i] = 0
+		p.rewards[i] = 0
 	}
 }
 
@@ -143,6 +157,7 @@ func (p *EpsilonGreedy) Update(arm int, reward float64) {
 		return
 	}
 	p.counts[arm]++
+	p.rewards[arm] += reward
 	if p.cfg.Step > 0 {
 		p.values[arm] += p.cfg.Step * (reward - p.values[arm])
 	} else {
@@ -158,6 +173,20 @@ func (p *EpsilonGreedy) Estimates() []float64 {
 	out := make([]float64, len(p.values))
 	copy(out, p.values)
 	return out
+}
+
+// EstimatesInto implements Policy.
+func (p *EpsilonGreedy) EstimatesInto(dst []float64) []float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return fillInto(dst, p.values)
+}
+
+// RewardsInto implements Policy.
+func (p *EpsilonGreedy) RewardsInto(dst []float64) []float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return fillInto(dst, p.rewards)
 }
 
 // Counts implements Policy.
@@ -180,12 +209,13 @@ func (p *EpsilonGreedy) Reset() {
 // UCB1 selects the arm maximizing value + c*sqrt(ln t / n_a), shifting from
 // exploration of under-played arms to exploitation as evidence accumulates.
 type UCB1 struct {
-	mu     sync.Mutex
-	cfg    Config
-	rng    *rand.Rand
-	values []float64
-	counts []int
-	total  int
+	mu      sync.Mutex
+	cfg     Config
+	rng     *rand.Rand
+	values  []float64
+	counts  []int
+	rewards []float64
+	total   int
 }
 
 // NewUCB1 builds the policy for the given arm count.
@@ -199,6 +229,7 @@ func NewUCB1(arms int, cfg Config) *UCB1 {
 	p := &UCB1{cfg: cfg, rng: cfg.rng()}
 	p.values = make([]float64, arms)
 	p.counts = make([]int, arms)
+	p.rewards = make([]float64, arms)
 	return p
 }
 
@@ -241,6 +272,7 @@ func (p *UCB1) Update(arm int, reward float64) {
 	}
 	p.counts[arm]++
 	p.total++
+	p.rewards[arm] += reward
 	if p.cfg.Step > 0 {
 		p.values[arm] += p.cfg.Step * (reward - p.values[arm])
 	} else {
@@ -256,6 +288,20 @@ func (p *UCB1) Estimates() []float64 {
 	out := make([]float64, len(p.values))
 	copy(out, p.values)
 	return out
+}
+
+// EstimatesInto implements Policy.
+func (p *UCB1) EstimatesInto(dst []float64) []float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return fillInto(dst, p.values)
+}
+
+// RewardsInto implements Policy.
+func (p *UCB1) RewardsInto(dst []float64) []float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return fillInto(dst, p.rewards)
 }
 
 // Counts implements Policy.
@@ -275,8 +321,21 @@ func (p *UCB1) Reset() {
 	for i := range p.values {
 		p.values[i] = 0
 		p.counts[i] = 0
+		p.rewards[i] = 0
 	}
 	p.total = 0
+}
+
+// fillInto copies src into dst, growing dst only when its capacity is too
+// small; callers that hand back the returned slice on the next call get
+// steady-state zero-allocation copies.
+func fillInto(dst, src []float64) []float64 {
+	if cap(dst) < len(src) {
+		dst = make([]float64, len(src))
+	}
+	dst = dst[:len(src)]
+	copy(dst, src)
+	return dst
 }
 
 // allowedArms expands the mask into a candidate index list.

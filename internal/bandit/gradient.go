@@ -13,11 +13,12 @@ import (
 // with the running mean reward as baseline. Included as an extension so
 // the selection layer can be swapped beyond ε-greedy/UCB.
 type Gradient struct {
-	mu    sync.Mutex
-	cfg   Config
-	rng   *rand.Rand
-	prefs []float64
-	count []int
+	mu      sync.Mutex
+	cfg     Config
+	rng     *rand.Rand
+	prefs   []float64
+	count   []int
+	rewards []float64
 	// alpha is the preference step size (cfg.Step, default 0.1).
 	alpha    float64
 	meanR    float64
@@ -34,11 +35,12 @@ func NewGradient(arms int, cfg Config) *Gradient {
 		alpha = 0.1
 	}
 	return &Gradient{
-		cfg:   cfg,
-		rng:   cfg.rng(),
-		prefs: make([]float64, arms),
-		count: make([]int, arms),
-		alpha: alpha,
+		cfg:     cfg,
+		rng:     cfg.rng(),
+		prefs:   make([]float64, arms),
+		count:   make([]int, arms),
+		rewards: make([]float64, arms),
+		alpha:   alpha,
 	}
 }
 
@@ -97,6 +99,7 @@ func (p *Gradient) Update(arm int, reward float64) {
 	}
 	p.count[arm]++
 	p.observed++
+	p.rewards[arm] += reward
 	p.meanR += (reward - p.meanR) / float64(p.observed)
 	all := allowedArms(len(p.prefs), nil)
 	probs := p.softmax(all)
@@ -121,6 +124,20 @@ func (p *Gradient) Estimates() []float64 {
 	return out
 }
 
+// EstimatesInto implements Policy.
+func (p *Gradient) EstimatesInto(dst []float64) []float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return fillInto(dst, p.prefs)
+}
+
+// RewardsInto implements Policy.
+func (p *Gradient) RewardsInto(dst []float64) []float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return fillInto(dst, p.rewards)
+}
+
 // Counts implements Policy.
 func (p *Gradient) Counts() []int {
 	p.mu.Lock()
@@ -138,6 +155,7 @@ func (p *Gradient) Reset() {
 	for i := range p.prefs {
 		p.prefs[i] = 0
 		p.count[i] = 0
+		p.rewards[i] = 0
 	}
 	p.meanR = 0
 	p.observed = 0

@@ -2,11 +2,13 @@ package core
 
 import (
 	"errors"
+	"fmt"
 	"time"
 
 	"repro/internal/bandit"
 	"repro/internal/compress"
 	"repro/internal/obs"
+	"repro/internal/obs/quality"
 	"repro/internal/sim"
 	"repro/internal/store"
 )
@@ -40,6 +42,10 @@ type Config struct {
 	Bandit bandit.Config
 	// UseUCB selects UCB1 instead of ε-greedy.
 	UseUCB bool
+	// BanditPolicy names the selection policy: "egreedy" (default), "ucb"
+	// or "gradient". UseUCB predates it and wins when set, so existing
+	// callers keep their behaviour.
+	BanditPolicy string
 	// SingleLossyMAB collapses the offline per-ratio-range bandit pool
 	// into one instance. The paper argues (§IV-C2) that rewards differ
 	// too much across ratio ranges for a single instance; this switch
@@ -92,6 +98,13 @@ type Config struct {
 	// at the cost of one branch per call site — no registry lookups, no
 	// extra clock reads (see internal/obs and DESIGN.md §9).
 	Obs *obs.Observer
+	// Quality attaches the online decision-quality oracle: per-decision
+	// codec attribution plus, on sampled decisions, a full counterfactual
+	// evaluation of every feasible arm feeding regret metrics, reward-gap
+	// histograms and "regret" trace events (see internal/obs/quality and
+	// internal/core/quality.go). Nil disables it; observing never perturbs
+	// decisions, rewards or energy accounting.
+	Quality *quality.Config
 	// Workers sizes the parallel codec-trial pool. 1 (the default) keeps
 	// the fully sequential path; set runtime.GOMAXPROCS(0) to fan codec
 	// trials out across cores. Online, OnlineParallel/RunOnlineSegments
@@ -158,13 +171,36 @@ func armNames(override, all []string) []string {
 	return out
 }
 
+// validatePolicy rejects unknown Config.BanditPolicy names up front, so
+// a typo fails engine construction instead of silently selecting the
+// default policy.
+func validatePolicy(cfg Config) error {
+	switch cfg.BanditPolicy {
+	case "", "egreedy", "ucb", "gradient":
+		return nil
+	}
+	return fmt.Errorf("core: unknown BanditPolicy %q (want egreedy, ucb or gradient)", cfg.BanditPolicy)
+}
+
 // newPolicy builds the configured bandit policy. name labels the
 // policy's decision-trace events (bandit.Config.Name) when cfg.Obs is
 // attached; an explicit cfg.Bandit.Trace/Name wins over the observer.
 func newPolicy(cfg Config, arms int, seedOffset int64, name string) bandit.Policy {
-	bc := banditConfig(cfg, seedOffset, name)
+	return buildPolicy(cfg, arms, banditConfig(cfg, seedOffset, name))
+}
+
+// buildPolicy instantiates the policy Config selects — UseUCB (the older
+// switch) wins over BanditPolicy for compatibility. Shared by the online
+// engine and the offline per-ratio-range pool factory.
+func buildPolicy(cfg Config, arms int, bc bandit.Config) bandit.Policy {
 	if cfg.UseUCB {
 		return bandit.NewUCB1(arms, bc)
+	}
+	switch cfg.BanditPolicy {
+	case "ucb":
+		return bandit.NewUCB1(arms, bc)
+	case "gradient":
+		return bandit.NewGradient(arms, bc)
 	}
 	return bandit.NewEpsilonGreedy(arms, bc)
 }

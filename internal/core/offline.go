@@ -91,6 +91,9 @@ type Snapshot struct {
 // NewOfflineEngine builds the engine.
 func NewOfflineEngine(cfg Config) (*OfflineEngine, error) {
 	cfg = cfg.withDefaults(false)
+	if err := validatePolicy(cfg); err != nil {
+		return nil, err
+	}
 	if cfg.StorageBytes <= 0 {
 		return nil, fmt.Errorf("core: offline mode requires StorageBytes")
 	}
@@ -118,10 +121,7 @@ func NewOfflineEngine(cfg Config) (*OfflineEngine, error) {
 	e.losslessMAB = newPolicy(cfg, len(e.losslessNames), 303, "bandit.offline.lossless")
 	e.om = newOfflineMetrics(cfg.Obs)
 	factory := func(arms int, bc bandit.Config) bandit.Policy {
-		if cfg.UseUCB {
-			return bandit.NewUCB1(arms, bc)
-		}
-		return bandit.NewEpsilonGreedy(arms, bc)
+		return buildPolicy(cfg, arms, bc)
 	}
 	// The pool stamps each ratio-range instance's Name with its bucket
 	// index, so trace events read "bandit.offline.lossy[2]" etc.

@@ -57,6 +57,10 @@ type OnlineEngine struct {
 	// emission happens on the decision goroutine (see internal/core/obs.go).
 	om *onlineMetrics
 
+	// qo is the decision-quality oracle; nil when Config.Quality is unset
+	// (see internal/core/quality.go).
+	qo *qualityOracle
+
 	statsMu sync.Mutex
 	stats   OnlineStats // guarded by statsMu
 }
@@ -98,6 +102,9 @@ func (s OnlineStats) OverallRatio() float64 {
 // cfg.TargetRatioOverride if positive, else from R = B/(64×I).
 func NewOnlineEngine(cfg Config) (*OnlineEngine, error) {
 	cfg = cfg.withDefaults(true)
+	if err := validatePolicy(cfg); err != nil {
+		return nil, err
+	}
 	eval, err := NewEvaluator(cfg.Objective)
 	if err != nil {
 		return nil, err
@@ -132,6 +139,13 @@ func NewOnlineEngine(cfg Config) (*OnlineEngine, error) {
 	}
 	if cfg.DeviceWatts > 0 {
 		e.energy = NewEnergyMeter(cfg.DeviceWatts, cfg.EnergyBudgetJoules)
+	}
+	e.qo, err = newQualityOracle(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if e.qo != nil {
+		e.qo.tracker.SetArmSource(e.armStats)
 	}
 	return e, nil
 }
@@ -272,25 +286,34 @@ func (e *OnlineEngine) process(values []float64, prep *PreparedSegment) (Result,
 	// One consistent target per segment, even if a concurrent Degrade
 	// lands mid-decision.
 	target := e.EffectiveTarget()
+	// On oracle-sampled decisions, capture the trials this decision
+	// consumes so the counterfactual evaluation reuses instead of
+	// recomputing them. Nil (the common case) keeps every note a no-op.
+	var trials *decisionTrials
+	if e.qo.sampled(id) {
+		trials = newDecisionTrials()
+	}
 
 	// Phase 1: lossless, preferred whenever it can meet R (paper: "We
 	// choose the best lossless compression by default").
 	if e.tryLossless(target) {
-		res, enc, ok := e.processLossless(id, values, prep, target)
+		res, enc, ok := e.processLossless(id, values, prep, target, trials)
 		if ok {
 			e.account(res)
 			e.om.decision(res, target, e.Pressure())
+			e.qo.observe(e, res, values, prep, trials, target)
 			return res, enc, nil
 		}
 	}
 
 	// Phase 2: lossy selection toward the target ratio.
-	res, enc, err := e.processLossy(id, values, prep, target)
+	res, enc, err := e.processLossy(id, values, prep, target, trials)
 	if err != nil {
 		return Result{}, compress.Encoded{}, err
 	}
 	e.account(res)
 	e.om.decision(res, target, e.Pressure())
+	e.qo.observe(e, res, values, prep, trials, target)
 	return res, enc, nil
 }
 
@@ -317,7 +340,7 @@ func (e *OnlineEngine) tryLossless(target float64) bool {
 // Infeasibility is a property of the *best* lossless codec, not of one
 // exploratory pick, so on a miss the engine retries the remaining arms
 // before concluding the segment cannot be handled losslessly.
-func (e *OnlineEngine) processLossless(id uint64, values []float64, prep *PreparedSegment, target float64) (Result, compress.Encoded, bool) {
+func (e *OnlineEngine) processLossless(id uint64, values []float64, prep *PreparedSegment, target float64, trials *decisionTrials) (Result, compress.Encoded, bool) {
 	allowed := make([]bool, len(e.losslessNames))
 	for i := range allowed {
 		allowed[i] = true
@@ -336,6 +359,7 @@ func (e *OnlineEngine) processLossless(id uint64, values []float64, prep *Prepar
 			codec, _ := e.reg.Lookup(name)
 			t = runLosslessTrial(codec, values)
 		}
+		trials.noteLossless(arm, t)
 		if prep != nil {
 			e.om.spec(ok)
 		}
@@ -365,7 +389,7 @@ func (e *OnlineEngine) processLossless(id uint64, values []float64, prep *Prepar
 	return Result{}, compress.Encoded{}, false
 }
 
-func (e *OnlineEngine) processLossy(id uint64, values []float64, prep *PreparedSegment, target float64) (Result, compress.Encoded, error) {
+func (e *OnlineEngine) processLossy(id uint64, values []float64, prep *PreparedSegment, target float64, trials *decisionTrials) (Result, compress.Encoded, error) {
 	allowed := make([]bool, len(e.lossyNames))
 	feasible := false
 	minRatios := prep.minRatioProbes()
@@ -395,6 +419,7 @@ func (e *OnlineEngine) processLossy(id uint64, values []float64, prep *PreparedS
 		codec, _ := e.reg.Lookup(name)
 		t = runLossyTrial(codec.(compress.LossyCodec), values, target)
 	}
+	trials.noteLossy(arm, t)
 	if prep != nil {
 		e.om.spec(ok)
 	}

@@ -81,6 +81,14 @@ func (p *PreparedSegment) lossyTrialFor(arm int) (lossyTrial, bool) {
 // the runner-up that takes over after a close update.
 const speculativeArms = 2
 
+// PrepScratch holds a worker's reusable allocations across PrepareSegment
+// calls: the estimate snapshots a worker takes per segment otherwise
+// allocate two slices each, which at pipeline rates dominates the
+// worker-side garbage. One scratch per goroutine — it must not be shared.
+type PrepScratch struct {
+	est []float64
+}
+
 // PrepareSegment speculatively runs the codec trials the decision path is
 // most likely to consume for this segment: the top estimated lossless arms
 // (when lossless looks viable), every lossy arm's MinRatio feasibility
@@ -90,6 +98,15 @@ const speculativeArms = 2
 // ProcessPrepared. Predictions are hints: a wrong guess never changes the
 // outcome, only where the trial is computed.
 func (e *OnlineEngine) PrepareSegment(values []float64, label int) *PreparedSegment {
+	return e.PrepareSegmentScratch(values, label, nil)
+}
+
+// PrepareSegmentScratch is PrepareSegment reusing scratch's buffers for
+// the policy estimate snapshots (nil scratch allocates fresh ones).
+func (e *OnlineEngine) PrepareSegmentScratch(values []float64, label int, scratch *PrepScratch) *PreparedSegment {
+	if scratch == nil {
+		scratch = &PrepScratch{}
+	}
 	target := e.EffectiveTarget()
 	p := &PreparedSegment{values: values, label: label, target: target}
 	if len(values) == 0 {
@@ -97,7 +114,8 @@ func (e *OnlineEngine) PrepareSegment(values []float64, label int) *PreparedSegm
 	}
 	if target >= 1 || e.losslessViable.Load() {
 		p.lossless = make(map[int]losslessTrial, speculativeArms)
-		for _, arm := range topArms(e.losslessMAB.Estimates(), speculativeArms) {
+		scratch.est = e.losslessMAB.EstimatesInto(scratch.est)
+		for _, arm := range topArms(scratch.est, speculativeArms) {
 			codec, ok := e.reg.Lookup(e.losslessNames[arm])
 			if !ok {
 				continue
@@ -119,8 +137,8 @@ func (e *OnlineEngine) PrepareSegment(values []float64, label int) *PreparedSegm
 		}
 		if any {
 			p.lossy = make(map[int]lossyTrial, 1)
-			est := e.lossyMAB.Estimates()
-			if arm := bestAllowedArm(est, feasible); arm >= 0 {
+			scratch.est = e.lossyMAB.EstimatesInto(scratch.est)
+			if arm := bestAllowedArm(scratch.est, feasible); arm >= 0 {
 				c, _ := e.reg.Lookup(e.lossyNames[arm])
 				p.lossy[arm] = runLossyTrial(c.(compress.LossyCodec), values, target)
 			}
@@ -250,12 +268,13 @@ func (p *OnlineParallel) Start(ctx context.Context) {
 		p.workerWG.Add(1)
 		go func() {
 			defer p.workerWG.Done()
+			scratch := &PrepScratch{} // per-worker, never shared
 			for job := range p.work {
 				select {
 				case <-ctx.Done():
 					job.done <- nil // sequencer records ctx.Err
 				default:
-					job.done <- p.eng.PrepareSegment(job.values, job.label)
+					job.done <- p.eng.PrepareSegmentScratch(job.values, job.label, scratch)
 				}
 			}
 		}()

@@ -1,0 +1,315 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/datasets"
+	"repro/internal/obs/quality"
+	"repro/internal/sim"
+)
+
+// Continuous benchmark emitter (`adaedge-bench -exp bench -json ...`): a
+// pinned, seeded workload matrix — online and offline mode, sequential and
+// parallel, the headline objectives — whose result is one schema-versioned
+// JSON document (BENCH_<n>.json). CI runs it every build and archives the
+// artifact, so performance and decision quality have a comparable
+// time series instead of ad-hoc terminal runs.
+//
+// Each case separates two kinds of fields:
+//
+//   - quality: seeded-deterministic outcomes (ratios, accuracy loss,
+//     segment mix, final regret). Identical across runs of the same
+//     binary with the same seed at any worker count — the determinism
+//     test pins this, and it is what makes two BENCH files diffable.
+//   - perf: wall-clock throughput and allocation statistics. Honest
+//     measurements that vary run to run; trends, not invariants.
+
+// BenchSchemaVersion identifies the BENCH_*.json layout. Bump on any
+// incompatible field change and keep ValidateBenchJSON in sync.
+const BenchSchemaVersion = 1
+
+// BenchConfig sizes the matrix.
+type BenchConfig struct {
+	// Segments per case (default 160; CI uses a shorter scale).
+	Segments int
+	// Seed drives every case's stream and policies (default 11).
+	Seed int64
+	// Workers lists the worker counts each case runs at (default 1, 4).
+	Workers []int
+}
+
+func (c BenchConfig) withDefaults() BenchConfig {
+	if c.Segments <= 0 {
+		c.Segments = 160
+	}
+	if c.Seed == 0 {
+		c.Seed = 11
+	}
+	if len(c.Workers) == 0 {
+		c.Workers = []int{1, 4}
+	}
+	return c
+}
+
+// BenchQuality holds one case's deterministic outcome fields.
+type BenchQuality struct {
+	OverallRatio     float64 `json:"overall_ratio"`
+	MeanAccuracyLoss float64 `json:"mean_accuracy_loss"`
+	LosslessSegments int     `json:"lossless_segments"`
+	LossySegments    int     `json:"lossy_segments"`
+	// FinalRegret is the run's cumulative oracle regret and RegretSamples
+	// the number of sampled decisions behind it; nil/0 for modes without
+	// the quality oracle (offline).
+	FinalRegret   *float64 `json:"final_regret,omitempty"`
+	RegretSamples int      `json:"regret_samples"`
+	ArmSwitches   int      `json:"arm_switches"`
+	OptimalRate   float64  `json:"optimal_rate"`
+	// SpaceUtilization and Recodes describe the offline storage budget
+	// (zero online).
+	SpaceUtilization float64 `json:"space_utilization"`
+	Recodes          int     `json:"recodes"`
+}
+
+// BenchPerf holds one case's measured performance fields.
+type BenchPerf struct {
+	WallSeconds    float64 `json:"wall_seconds"`
+	SegmentsPerSec float64 `json:"segments_per_sec"`
+	RawBytesPerSec float64 `json:"raw_bytes_per_sec"`
+	// AllocBytes/Mallocs/NumGC are runtime.MemStats deltas over the case.
+	AllocBytes uint64 `json:"alloc_bytes"`
+	Mallocs    uint64 `json:"mallocs"`
+	NumGC      uint32 `json:"num_gc"`
+}
+
+// BenchCase is one cell of the matrix.
+type BenchCase struct {
+	Name     string `json:"name"`
+	Mode     string `json:"mode"`   // "online" or "offline"
+	Target   string `json:"target"` // objective description
+	Workers  int    `json:"workers"`
+	Segments int    `json:"segments"`
+	Seed     int64  `json:"seed"`
+	// TargetRatio is the online ratio constraint (0 offline).
+	TargetRatio float64 `json:"target_ratio"`
+	// StorageBytes is the offline budget (0 online).
+	StorageBytes int64        `json:"storage_bytes"`
+	Quality      BenchQuality `json:"quality"`
+	Perf         BenchPerf    `json:"perf"`
+}
+
+// BenchDoc is the whole BENCH_*.json document.
+type BenchDoc struct {
+	SchemaVersion int         `json:"schema_version"`
+	Tool          string      `json:"tool"`
+	GoVersion     string      `json:"go_version"`
+	GOMAXPROCS    int         `json:"gomaxprocs"`
+	Segments      int         `json:"segments"`
+	Seed          int64       `json:"seed"`
+	Cases         []BenchCase `json:"cases"`
+}
+
+// RunBench executes the pinned matrix and returns the document. w (may be
+// nil) receives one progress line per case.
+func RunBench(w io.Writer, cfg BenchConfig) (BenchDoc, error) {
+	cfg = cfg.withDefaults()
+	doc := BenchDoc{
+		SchemaVersion: BenchSchemaVersion,
+		Tool:          "adaedge-bench",
+		GoVersion:     runtime.Version(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		Segments:      cfg.Segments,
+		Seed:          cfg.Seed,
+	}
+	type spec struct {
+		name   string
+		target string
+		run    func(workers int) (BenchCase, error)
+	}
+	model := trainCBFModel("rforest")
+	kmeans := trainCBFModel("kmeans")
+	specs := []spec{
+		{name: "online_ratio", target: "ratio", run: func(workers int) (BenchCase, error) {
+			return benchOnline(cfg, "online_ratio", "ratio",
+				core.SingleTarget(core.TargetRatio), 0.15, workers)
+		}},
+		{name: "online_ml_rforest", target: "ml(rforest)", run: func(workers int) (BenchCase, error) {
+			return benchOnline(cfg, "online_ml_rforest", "ml(rforest)",
+				core.MLTarget(model), 0.1, workers)
+		}},
+		{name: "offline_ml_kmeans", target: "ml(kmeans)", run: func(workers int) (BenchCase, error) {
+			return benchOffline(cfg, "offline_ml_kmeans", "ml(kmeans)",
+				core.MLTarget(kmeans), workers)
+		}},
+	}
+	for _, s := range specs {
+		for _, workers := range cfg.Workers {
+			c, err := s.run(workers)
+			if err != nil {
+				return doc, fmt.Errorf("bench %s workers=%d: %w", s.name, workers, err)
+			}
+			doc.Cases = append(doc.Cases, c)
+			if w != nil {
+				fmt.Fprintf(w, "  %-18s workers=%d  %8.1f seg/s  ratio %.4f  regret %s\n",
+					c.Name, c.Workers, c.Perf.SegmentsPerSec, c.Quality.OverallRatio, fmtRegret(c.Quality.FinalRegret))
+			}
+		}
+	}
+	return doc, nil
+}
+
+func fmtRegret(r *float64) string {
+	if r == nil {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.4f", *r)
+}
+
+// benchOnline runs one online cell with the quality oracle attached.
+func benchOnline(cfg BenchConfig, name, target string, obj core.Objective, ratio float64, workers int) (BenchCase, error) {
+	eng, err := core.NewOnlineEngine(core.Config{
+		TargetRatioOverride: ratio,
+		Objective:           obj,
+		Seed:                cfg.Seed,
+		Workers:             workers,
+		Quality:             &quality.Config{SampleEvery: 4},
+	})
+	if err != nil {
+		return BenchCase{}, err
+	}
+	stream := datasets.NewCBFStream(datasets.CBFConfig{Seed: cfg.Seed + 1})
+	segs := make([]core.LabeledSegment, cfg.Segments)
+	rawBytes := 0
+	for i := range segs {
+		v, l := stream.Next()
+		segs[i] = core.LabeledSegment{Values: v, Label: l}
+		rawBytes += 8 * len(v)
+	}
+
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	if _, err := core.RunOnlineSegments(context.Background(), eng, segs); err != nil {
+		return BenchCase{}, err
+	}
+	wall := time.Since(start).Seconds()
+	runtime.ReadMemStats(&after)
+
+	st := eng.Stats()
+	qs := eng.Quality().Snapshot()
+	regret := qs.CumulativeRegret
+	return BenchCase{
+		Name: name, Mode: "online", Target: target,
+		Workers: workers, Segments: cfg.Segments, Seed: cfg.Seed, TargetRatio: ratio,
+		Quality: BenchQuality{
+			OverallRatio:     st.OverallRatio(),
+			MeanAccuracyLoss: st.MeanAccuracyLoss(),
+			LosslessSegments: st.LosslessSegments,
+			LossySegments:    st.LossySegments,
+			FinalRegret:      &regret,
+			RegretSamples:    qs.Samples,
+			ArmSwitches:      qs.ArmSwitches,
+			OptimalRate:      qs.OptimalRate,
+		},
+		Perf: benchPerf(wall, cfg.Segments, rawBytes, &before, &after),
+	}, nil
+}
+
+// benchOffline runs one offline cell: a tight storage budget that forces
+// recoding, the paper's Fig 12–13 regime.
+func benchOffline(cfg BenchConfig, name, target string, obj core.Objective, workers int) (BenchCase, error) {
+	budget := int64(cfg.Segments) * 140 // ≈14% of raw: recoding pressure without starvation
+	eng, err := core.NewOfflineEngine(core.Config{
+		StorageBytes: budget,
+		Objective:    obj,
+		Seed:         cfg.Seed,
+		Workers:      workers,
+		CodecCost:    core.DefaultCodecCost,
+	})
+	if err != nil {
+		return BenchCase{}, err
+	}
+	stream := datasets.NewCBFStream(datasets.CBFConfig{Seed: cfg.Seed + 2})
+	type seg struct {
+		values []float64
+		label  int
+	}
+	segs := make([]seg, cfg.Segments)
+	rawBytes := 0
+	for i := range segs {
+		v, l := stream.Next()
+		segs[i] = seg{v, l}
+		rawBytes += 8 * len(v)
+	}
+
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for _, s := range segs {
+		if err := eng.Ingest(s.values, s.label); err != nil {
+			if errors.Is(err, sim.ErrBudgetExceeded) {
+				break
+			}
+			return BenchCase{}, err
+		}
+	}
+	wall := time.Since(start).Seconds()
+	runtime.ReadMemStats(&after)
+
+	st := eng.Stats()
+	snap := eng.Snapshot()
+	return BenchCase{
+		Name: name, Mode: "offline", Target: target,
+		Workers: workers, Segments: cfg.Segments, Seed: cfg.Seed, StorageBytes: budget,
+		Quality: BenchQuality{
+			OverallRatio:     float64(eng.Storage().Used()) / float64(rawBytes),
+			MeanAccuracyLoss: snap.MeanAccuracyLoss,
+			LossySegments:    st.SegmentsIngested,
+			SpaceUtilization: snap.SpaceUtilization,
+			Recodes:          st.Recodes,
+		},
+		Perf: benchPerf(wall, st.SegmentsIngested, rawBytes, &before, &after),
+	}, nil
+}
+
+func benchPerf(wall float64, segments, rawBytes int, before, after *runtime.MemStats) BenchPerf {
+	if wall <= 0 {
+		wall = 1e-9
+	}
+	return BenchPerf{
+		WallSeconds:    wall,
+		SegmentsPerSec: float64(segments) / wall,
+		RawBytesPerSec: float64(rawBytes) / wall,
+		AllocBytes:     after.TotalAlloc - before.TotalAlloc,
+		Mallocs:        after.Mallocs - before.Mallocs,
+		NumGC:          after.NumGC - before.NumGC,
+	}
+}
+
+// WriteBenchJSON runs the matrix and writes the document to path,
+// validating the bytes against the schema before they land on disk.
+func WriteBenchJSON(w io.Writer, cfg BenchConfig, path string) (BenchDoc, error) {
+	doc, err := RunBench(w, cfg)
+	if err != nil {
+		return doc, err
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return doc, err
+	}
+	data = append(data, '\n')
+	if err := ValidateBenchJSON(data); err != nil {
+		return doc, fmt.Errorf("bench: emitted document fails its own schema: %w", err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return doc, err
+	}
+	return doc, nil
+}

@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// benchTestConfig is a shrunken matrix: enough segments for both engine
+// modes to make real decisions, small enough for the unit-test budget.
+func benchTestConfig() BenchConfig {
+	return BenchConfig{Segments: 30, Seed: 11, Workers: []int{1, 2}}
+}
+
+// TestBenchDeterministicQuality pins the emitter's core promise: two runs
+// of the same seeded matrix produce identical quality fields (perf fields
+// are honest wall-clock measurements and may differ), and within one run
+// the quality fields are identical across worker counts.
+func TestBenchDeterministicQuality(t *testing.T) {
+	a, err := RunBench(nil, benchTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunBench(nil, benchTestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Cases) != len(b.Cases) || len(a.Cases) == 0 {
+		t.Fatalf("case counts differ: %d vs %d", len(a.Cases), len(b.Cases))
+	}
+	for i := range a.Cases {
+		qa, qb := a.Cases[i].Quality, b.Cases[i].Quality
+		if qa.FinalRegret != nil && qb.FinalRegret != nil {
+			if *qa.FinalRegret != *qb.FinalRegret {
+				t.Fatalf("case %s: FinalRegret %v vs %v", a.Cases[i].Name, *qa.FinalRegret, *qb.FinalRegret)
+			}
+			qa.FinalRegret, qb.FinalRegret = nil, nil
+		}
+		if !reflect.DeepEqual(qa, qb) {
+			t.Fatalf("case %s: quality fields differ between same-seed runs:\n%+v\n%+v",
+				a.Cases[i].Name, qa, qb)
+		}
+	}
+	// Worker-count invariance: cases come in (name, workers) order, so
+	// adjacent same-name cases must agree on every quality field.
+	byName := map[string]BenchQuality{}
+	for _, c := range a.Cases {
+		q := c.Quality
+		if q.FinalRegret != nil {
+			r := *q.FinalRegret
+			q.FinalRegret = &r
+		}
+		prev, seen := byName[c.Name]
+		if !seen {
+			byName[c.Name] = q
+			continue
+		}
+		pr, qr := prev.FinalRegret, q.FinalRegret
+		if (pr == nil) != (qr == nil) || (pr != nil && *pr != *qr) {
+			t.Fatalf("case %s: FinalRegret differs across worker counts", c.Name)
+		}
+		prev.FinalRegret, q.FinalRegret = nil, nil
+		if !reflect.DeepEqual(prev, q) {
+			t.Fatalf("case %s: quality fields differ across worker counts:\n%+v\n%+v", c.Name, prev, q)
+		}
+	}
+}
+
+// TestBenchJSONRoundTrip writes a document to disk and validates it, and
+// checks a handful of hand-broken documents fail validation.
+func TestBenchJSONRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_0.json")
+	doc, err := WriteBenchJSON(nil, benchTestConfig(), path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.SchemaVersion != BenchSchemaVersion {
+		t.Fatalf("SchemaVersion = %d, want %d", doc.SchemaVersion, BenchSchemaVersion)
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateBenchJSON(data); err != nil {
+		t.Fatalf("emitted document fails validation: %v", err)
+	}
+
+	breakages := []struct {
+		name string
+		mut  func(m map[string]any)
+		want string
+	}{
+		{"wrong version", func(m map[string]any) { m["schema_version"] = 99.0 }, "schema_version"},
+		{"missing tool", func(m map[string]any) { delete(m, "tool") }, "tool"},
+		{"empty cases", func(m map[string]any) { m["cases"] = []any{} }, "empty cases"},
+		{"bad mode", func(m map[string]any) {
+			m["cases"].([]any)[0].(map[string]any)["mode"] = "sideways"
+		}, "mode"},
+		{"negative regret", func(m map[string]any) {
+			m["cases"].([]any)[0].(map[string]any)["quality"].(map[string]any)["final_regret"] = -1.0
+		}, "final_regret"},
+		{"missing perf field", func(m map[string]any) {
+			delete(m["cases"].([]any)[0].(map[string]any)["perf"].(map[string]any), "wall_seconds")
+		}, "wall_seconds"},
+	}
+	for _, bk := range breakages {
+		var m map[string]any
+		if err := json.Unmarshal(data, &m); err != nil {
+			t.Fatal(err)
+		}
+		bk.mut(m)
+		broken, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = ValidateBenchJSON(broken)
+		if err == nil {
+			t.Fatalf("%s: broken document passed validation", bk.name)
+		}
+		if !strings.Contains(err.Error(), bk.want) {
+			t.Fatalf("%s: error %q does not mention %q", bk.name, err, bk.want)
+		}
+	}
+	if err := ValidateBenchJSON([]byte("not json")); err == nil {
+		t.Fatal("non-JSON input passed validation")
+	}
+}

@@ -1,0 +1,171 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+// ValidateBenchJSON checks a BENCH_*.json document against the version-1
+// schema: required fields present, correctly typed, and numerically sane
+// (finite, non-negative where the quantity cannot be negative). It is the
+// contract CI enforces on every emitted artifact, hand-rolled because the
+// repo takes no schema-library dependency.
+func ValidateBenchJSON(data []byte) error {
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("bench schema: not valid JSON: %w", err)
+	}
+	v, err := wantNumber(doc, "schema_version")
+	if err != nil {
+		return err
+	}
+	if int(v) != BenchSchemaVersion {
+		return fmt.Errorf("bench schema: schema_version = %v, validator understands %d", v, BenchSchemaVersion)
+	}
+	for _, key := range []string{"tool", "go_version"} {
+		if _, err := wantString(doc, key); err != nil {
+			return err
+		}
+	}
+	for _, key := range []string{"gomaxprocs", "segments", "seed"} {
+		if _, err := wantNumber(doc, key); err != nil {
+			return err
+		}
+	}
+	raw, ok := doc["cases"]
+	if !ok {
+		return fmt.Errorf("bench schema: missing field %q", "cases")
+	}
+	cases, ok := raw.([]any)
+	if !ok {
+		return fmt.Errorf("bench schema: %q is %T, want array", "cases", raw)
+	}
+	if len(cases) == 0 {
+		return fmt.Errorf("bench schema: empty cases array")
+	}
+	for i, rc := range cases {
+		c, ok := rc.(map[string]any)
+		if !ok {
+			return fmt.Errorf("bench schema: cases[%d] is %T, want object", i, rc)
+		}
+		if err := validateCase(c); err != nil {
+			return fmt.Errorf("bench schema: cases[%d]: %w", i, err)
+		}
+	}
+	return nil
+}
+
+func validateCase(c map[string]any) error {
+	mode, err := wantString(c, "mode")
+	if err != nil {
+		return err
+	}
+	if mode != "online" && mode != "offline" {
+		return fmt.Errorf("mode = %q, want online or offline", mode)
+	}
+	if _, err := wantString(c, "name"); err != nil {
+		return err
+	}
+	if _, err := wantString(c, "target"); err != nil {
+		return err
+	}
+	workers, err := wantNumber(c, "workers")
+	if err != nil {
+		return err
+	}
+	if workers < 1 {
+		return fmt.Errorf("workers = %v, want >= 1", workers)
+	}
+	for _, key := range []string{"segments", "seed", "target_ratio", "storage_bytes"} {
+		if _, err := wantNumber(c, key); err != nil {
+			return err
+		}
+	}
+
+	q, err := wantObject(c, "quality")
+	if err != nil {
+		return err
+	}
+	for _, key := range []string{
+		"overall_ratio", "mean_accuracy_loss", "lossless_segments",
+		"lossy_segments", "regret_samples", "arm_switches", "optimal_rate",
+		"space_utilization", "recodes",
+	} {
+		v, err := wantNumber(q, key)
+		if err != nil {
+			return fmt.Errorf("quality: %w", err)
+		}
+		if v < 0 {
+			return fmt.Errorf("quality: %s = %v, want >= 0", key, v)
+		}
+	}
+	// final_regret is optional (offline cases omit it) but must be a
+	// non-negative number when present.
+	if raw, ok := q["final_regret"]; ok {
+		v, ok := raw.(float64)
+		if !ok || math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return fmt.Errorf("quality: final_regret = %v, want finite number >= 0", raw)
+		}
+	}
+
+	p, err := wantObject(c, "perf")
+	if err != nil {
+		return err
+	}
+	for _, key := range []string{
+		"wall_seconds", "segments_per_sec", "raw_bytes_per_sec",
+		"alloc_bytes", "mallocs", "num_gc",
+	} {
+		v, err := wantNumber(p, key)
+		if err != nil {
+			return fmt.Errorf("perf: %w", err)
+		}
+		if v < 0 {
+			return fmt.Errorf("perf: %s = %v, want >= 0", key, v)
+		}
+	}
+	return nil
+}
+
+func wantNumber(m map[string]any, key string) (float64, error) {
+	raw, ok := m[key]
+	if !ok {
+		return 0, fmt.Errorf("missing field %q", key)
+	}
+	v, ok := raw.(float64)
+	if !ok {
+		return 0, fmt.Errorf("%q is %T, want number", key, raw)
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, fmt.Errorf("%q is not finite", key)
+	}
+	return v, nil
+}
+
+func wantString(m map[string]any, key string) (string, error) {
+	raw, ok := m[key]
+	if !ok {
+		return "", fmt.Errorf("missing field %q", key)
+	}
+	s, ok := raw.(string)
+	if !ok {
+		return "", fmt.Errorf("%q is %T, want string", key, raw)
+	}
+	if s == "" {
+		return "", fmt.Errorf("%q is empty", key)
+	}
+	return s, nil
+}
+
+func wantObject(m map[string]any, key string) (map[string]any, error) {
+	raw, ok := m[key]
+	if !ok {
+		return nil, fmt.Errorf("missing field %q", key)
+	}
+	o, ok := raw.(map[string]any)
+	if !ok {
+		return nil, fmt.Errorf("%q is %T, want object", key, raw)
+	}
+	return o, nil
+}

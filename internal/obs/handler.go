@@ -14,7 +14,8 @@ import (
 // snapshots). Endpoints:
 //
 //	/debug/metrics   JSON Snapshot of every counter, gauge and histogram,
-//	                 plus ring totals
+//	                 plus ring totals; ?format=prom switches to the
+//	                 Prometheus text exposition format
 //	/debug/vars      expvar-style flat JSON: one key per counter/gauge,
 //	                 plus cmdline and memstats
 //	/debug/trace     JSON array of buffered trace events, oldest first;
@@ -25,8 +26,20 @@ import (
 // The mux is not registered on http.DefaultServeMux: exposure is the
 // caller's explicit choice (both CLIs gate it behind -debug-addr).
 func NewHandler(reg *Registry, ring *Ring) http.Handler {
+	return newHandler(reg, ring, nil)
+}
+
+// newHandler is NewHandler plus a published-page resolver (Observer.page);
+// pageFn is consulted per request under /debug/, so pages registered after
+// the handler was built (engines constructed after Serve) still resolve.
+func newHandler(reg *Registry, ring *Ring, pageFn func(string) func() any) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("format") == "prom" {
+			w.Header().Set("Content-Type", PromContentType)
+			_ = reg.Snapshot().WriteProm(w)
+			return
+		}
 		type payload struct {
 			Snapshot
 			Trace struct {
@@ -78,6 +91,17 @@ func NewHandler(reg *Registry, ring *Ring) http.Handler {
 		}
 		writeJSON(w, events)
 	})
+	if pageFn != nil {
+		// Published pages (Observer.Publish) resolve per request; the
+		// longer explicit patterns above win over this fallback.
+		mux.HandleFunc("/debug/", func(w http.ResponseWriter, r *http.Request) {
+			if fn := pageFn(r.URL.Path); fn != nil {
+				writeJSON(w, fn())
+				return
+			}
+			http.NotFound(w, r)
+		})
+	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

@@ -118,6 +118,11 @@ type HistogramSnapshot struct {
 	Counts []int64   `json:"counts"`
 	Count  int64     `json:"count"`
 	Sum    float64   `json:"sum"`
+	// P50, P95 and P99 are bucket-interpolated quantile estimates (see
+	// Quantile); 0 when the histogram is empty.
+	P50 float64 `json:"p50"`
+	P95 float64 `json:"p95"`
+	P99 float64 `json:"p99"`
 }
 
 // Mean returns Sum/Count (0 when empty).
@@ -126,6 +131,60 @@ func (s HistogramSnapshot) Mean() float64 {
 		return 0
 	}
 	return s.Sum / float64(s.Count)
+}
+
+// Quantile estimates the q-quantile (q in (0,1]) by linear interpolation
+// inside the bucket that holds the target rank, the standard fixed-bucket
+// estimator. Its edges keep the result finite so it always survives JSON
+// encoding: an empty histogram reports 0, the first bucket interpolates
+// from 0 (or reports its bound when the bound is non-positive), and ranks
+// landing in the overflow bucket report the last finite bound — an
+// underestimate, as with any bounded histogram.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Counts) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum float64
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		prev := cum
+		cum += float64(c)
+		if cum < rank {
+			continue
+		}
+		if i >= len(s.Bounds) {
+			// Overflow bucket: no finite upper edge to interpolate toward.
+			if len(s.Bounds) == 0 {
+				return 0
+			}
+			return s.Bounds[len(s.Bounds)-1]
+		}
+		upper := s.Bounds[i]
+		lower := 0.0
+		if i > 0 {
+			lower = s.Bounds[i-1]
+		}
+		if lower >= upper {
+			return upper
+		}
+		frac := (rank - prev) / float64(c)
+		return lower + (upper-lower)*frac
+	}
+	// All counts consumed without reaching rank (concurrent-update skew);
+	// fall back to the largest populated edge.
+	if len(s.Bounds) == 0 {
+		return 0
+	}
+	return s.Bounds[len(s.Bounds)-1]
 }
 
 func (h *Histogram) snapshot() HistogramSnapshot {
@@ -138,6 +197,9 @@ func (h *Histogram) snapshot() HistogramSnapshot {
 	for i := range h.buckets {
 		out.Counts[i] = h.buckets[i].Load()
 	}
+	out.P50 = out.Quantile(0.50)
+	out.P95 = out.Quantile(0.95)
+	out.P99 = out.Quantile(0.99)
 	return out
 }
 

@@ -53,6 +53,7 @@ package obs
 import (
 	"net"
 	"net/http"
+	"sync"
 )
 
 // Observer bundles the two halves of the substrate — a metric Registry
@@ -63,6 +64,9 @@ import (
 type Observer struct {
 	reg  *Registry
 	ring *Ring
+
+	mu    sync.Mutex
+	pages map[string]func() any // guarded by mu
 }
 
 // New builds an Observer with a fresh Registry and a trace Ring holding
@@ -97,9 +101,39 @@ func (o *Observer) Sink() TraceSink {
 	return o.ring
 }
 
-// Handler returns the debug HTTP mux over this Observer (see NewHandler).
+// Publish mounts a JSON page under the debug mux: requests to path (which
+// must start with "/debug/") serve snapshot()'s result JSON-encoded.
+// Components register their structured state this way — the quality
+// tracker publishes /debug/quality — without the handler having to know
+// them. Publishing is safe at any time, including after Serve: page lookup
+// happens per request, so pages registered by engines built after the
+// debug server started still appear. Nil-receiver safe (no-op).
+func (o *Observer) Publish(path string, snapshot func() any) {
+	if o == nil || path == "" || snapshot == nil {
+		return
+	}
+	o.mu.Lock()
+	if o.pages == nil {
+		o.pages = make(map[string]func() any)
+	}
+	o.pages[path] = snapshot
+	o.mu.Unlock()
+}
+
+// page resolves a published page by exact path (nil when absent).
+func (o *Observer) page(path string) func() any {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.pages[path]
+}
+
+// Handler returns the debug HTTP mux over this Observer (see NewHandler),
+// including any pages registered via Publish.
 func (o *Observer) Handler() http.Handler {
-	return NewHandler(o.Registry(), o.Ring())
+	return newHandler(o.Registry(), o.Ring(), o.page)
 }
 
 // Serve starts the debug endpoint on addr (":0" picks an ephemeral port)

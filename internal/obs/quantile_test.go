@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// TestQuantileEmpty pins the empty-histogram edge: every quantile is 0,
+// never NaN — the snapshot must survive JSON encoding.
+func TestQuantileEmpty(t *testing.T) {
+	s := NewHistogram(LatencyBuckets).snapshot()
+	for _, q := range []float64{0, 0.5, 0.95, 0.99, 1} {
+		if got := s.Quantile(q); got != 0 {
+			t.Fatalf("empty Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+	if s.P50 != 0 || s.P95 != 0 || s.P99 != 0 {
+		t.Fatalf("empty snapshot quantiles = %v/%v/%v, want 0", s.P50, s.P95, s.P99)
+	}
+	if _, err := json.Marshal(s); err != nil {
+		t.Fatalf("empty snapshot not JSON-encodable: %v", err)
+	}
+}
+
+// TestQuantileSingleBucket pins interpolation when everything lands in one
+// bucket: the estimate moves linearly through the bucket with q and never
+// leaves its edges.
+func TestQuantileSingleBucket(t *testing.T) {
+	h := NewHistogram([]float64{10, 20, 30})
+	for i := 0; i < 100; i++ {
+		h.Observe(15) // all into the (10, 20] bucket
+	}
+	s := h.snapshot()
+	if got := s.Quantile(0.5); got != 15 {
+		t.Fatalf("Quantile(0.5) = %v, want the bucket midpoint 15", got)
+	}
+	for _, q := range []float64{0.01, 0.25, 0.75, 0.99, 1} {
+		got := s.Quantile(q)
+		if got < 10 || got > 20 {
+			t.Fatalf("Quantile(%v) = %v, escaped the populated bucket (10, 20]", q, got)
+		}
+	}
+	// First-bucket interpolation starts from 0, not from the lower bound
+	// of a preceding empty bucket.
+	h2 := NewHistogram([]float64{10, 20})
+	h2.Observe(5)
+	h2.Observe(5)
+	if got := h2.snapshot().Quantile(0.5); got != 5 {
+		t.Fatalf("first-bucket Quantile(0.5) = %v, want 5 (interpolated from 0)", got)
+	}
+}
+
+// TestQuantileOverflowBucket pins the unbounded-bucket edge: ranks landing
+// above the last finite bound report that bound (finite, admittedly an
+// underestimate) instead of NaN or +Inf.
+func TestQuantileOverflowBucket(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	h.Observe(0.5)
+	for i := 0; i < 99; i++ {
+		h.Observe(100) // overflow bucket
+	}
+	s := h.snapshot()
+	for _, q := range []float64{0.5, 0.95, 0.99, 1} {
+		got := s.Quantile(q)
+		if got != 2 {
+			t.Fatalf("Quantile(%v) = %v, want last finite bound 2", q, got)
+		}
+		if math.IsNaN(got) || math.IsInf(got, 0) {
+			t.Fatalf("Quantile(%v) = %v, not finite", q, got)
+		}
+	}
+	if s.P99 != 2 {
+		t.Fatalf("P99 = %v, want 2", s.P99)
+	}
+}
+
+// TestQuantileMultiBucket sanity-checks the estimator on a spread
+// distribution: quantiles are monotone in q and bracket the data.
+func TestQuantileMultiBucket(t *testing.T) {
+	h := NewHistogram([]float64{10, 20, 30, 40})
+	for i := 1; i <= 40; i++ {
+		h.Observe(float64(i))
+	}
+	s := h.snapshot()
+	prev := 0.0
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+		got := s.Quantile(q)
+		if got < prev {
+			t.Fatalf("Quantile not monotone: Quantile(%v) = %v < %v", q, got, prev)
+		}
+		prev = got
+	}
+	if p50 := s.Quantile(0.5); p50 < 15 || p50 > 25 {
+		t.Fatalf("P50 = %v on uniform 1..40, want near 20", p50)
+	}
+	if p99 := s.Quantile(0.99); p99 < 30 || p99 > 40 {
+		t.Fatalf("P99 = %v on uniform 1..40, want in the last bucket", p99)
+	}
+}
+
+// TestSnapshotQuantilesInMetricsJSON proves the p50/p95/p99 fields ride
+// along in the registry snapshot's JSON form (the /debug/metrics payload).
+func TestSnapshotQuantilesInMetricsJSON(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("x.latency", []float64{1, 2, 4})
+	h.Observe(1.5)
+	h.Observe(1.5)
+	data, err := json.Marshal(reg.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Histograms map[string]struct {
+			P50 float64 `json:"p50"`
+			P95 float64 `json:"p95"`
+			P99 float64 `json:"p99"`
+		} `json:"histograms"`
+	}
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	hs, ok := decoded.Histograms["x.latency"]
+	if !ok {
+		t.Fatalf("histogram missing from snapshot JSON: %s", data)
+	}
+	if hs.P50 <= 1 || hs.P50 > 2 {
+		t.Fatalf("JSON p50 = %v, want in (1, 2]", hs.P50)
+	}
+	if hs.P99 <= 1 || hs.P99 > 2 {
+		t.Fatalf("JSON p99 = %v, want in (1, 2]", hs.P99)
+	}
+}

@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"testing"
+)
+
+// wrappedObserver records more events than the ring holds, alternating
+// between two sources, so the filter tests run against a wrapped buffer:
+// the oldest events have been evicted and Seq no longer starts at 1.
+func wrappedObserver(ringCap, total int) *Observer {
+	o := New(ringCap)
+	for i := 0; i < total; i++ {
+		src := "core.online"
+		if i%2 == 1 {
+			src = "quality.online"
+		}
+		o.Ring().Record(Event{Source: src, Kind: "decision", ID: uint64(i)})
+	}
+	return o
+}
+
+// TestTraceFilterAtWraparound drives /debug/trace's filters across the
+// ring-eviction boundary: results stay oldest-first, carry the survivors'
+// original sequence numbers, and ?source composes with the wrap.
+func TestTraceFilterAtWraparound(t *testing.T) {
+	const ringCap, total = 8, 20
+	o := wrappedObserver(ringCap, total)
+	srv := httptest.NewServer(o.Handler())
+	defer srv.Close()
+
+	var events []Event
+	if err := json.Unmarshal(get(t, srv, "/debug/trace"), &events); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != ringCap {
+		t.Fatalf("len = %d, want ring capacity %d", len(events), ringCap)
+	}
+	// The survivors are the newest ringCap events, oldest-first, with
+	// their pre-eviction IDs and monotone Seq stamps.
+	for i, ev := range events {
+		if want := uint64(total - ringCap + i); ev.ID != want {
+			t.Fatalf("events[%d].ID = %d, want %d", i, ev.ID, want)
+		}
+		if i > 0 && events[i].Seq != events[i-1].Seq+1 {
+			t.Fatalf("Seq not contiguous at %d: %d after %d", i, events[i].Seq, events[i-1].Seq)
+		}
+	}
+
+	// Source filter across the wrap: only the matching half survives, in
+	// order.
+	if err := json.Unmarshal(get(t, srv, "/debug/trace?source=quality.online"), &events); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != ringCap/2 {
+		t.Fatalf("filtered len = %d, want %d", len(events), ringCap/2)
+	}
+	for i, ev := range events {
+		if ev.Source != "quality.online" {
+			t.Fatalf("events[%d].Source = %q", i, ev.Source)
+		}
+		if ev.ID%2 != 1 {
+			t.Fatalf("events[%d].ID = %d, not from the quality half", i, ev.ID)
+		}
+	}
+
+	// n combined with source: newest K of the filtered set.
+	if err := json.Unmarshal(get(t, srv, "/debug/trace?source=core.online&n=2"), &events); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 || events[1].ID != uint64(total-2) {
+		t.Fatalf("source+n = %+v, want the 2 newest core.online events", events)
+	}
+}
+
+// TestTraceFilterNBounds pins the ?n edge cases: n larger than the ring
+// returns everything, n equal to the length returns everything, n=0
+// returns an empty array, and a malformed n is ignored.
+func TestTraceFilterNBounds(t *testing.T) {
+	const ringCap, total = 8, 20
+	o := wrappedObserver(ringCap, total)
+	srv := httptest.NewServer(o.Handler())
+	defer srv.Close()
+
+	var events []Event
+	for _, n := range []int{total * 2, ringCap, ringCap + 1} {
+		if err := json.Unmarshal(get(t, srv, fmt.Sprintf("/debug/trace?n=%d", n)), &events); err != nil {
+			t.Fatal(err)
+		}
+		if len(events) != ringCap {
+			t.Fatalf("?n=%d: len = %d, want the whole ring (%d)", n, len(events), ringCap)
+		}
+	}
+
+	if err := json.Unmarshal(get(t, srv, "/debug/trace?n=3"), &events); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 3 || events[2].ID != uint64(total-1) {
+		t.Fatalf("?n=3 = %+v, want the 3 newest", events)
+	}
+
+	if err := json.Unmarshal(get(t, srv, "/debug/trace?n=0"), &events); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 0 {
+		t.Fatalf("?n=0: len = %d, want 0", len(events))
+	}
+
+	if err := json.Unmarshal(get(t, srv, "/debug/trace?n=bogus"), &events); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != ringCap {
+		t.Fatalf("?n=bogus: len = %d, want filter ignored (%d)", len(events), ringCap)
+	}
+}
+
+// TestPublishedPages covers Observer.Publish: a page registered before or
+// after the handler exists serves its snapshot JSON under /debug/, the
+// explicit endpoints win over the fallback, and unknown paths 404.
+func TestPublishedPages(t *testing.T) {
+	o := seededObserver()
+	o.Publish("/debug/quality", func() any { return map[string]int{"decisions": 7} })
+	srv := httptest.NewServer(o.Handler())
+	defer srv.Close()
+
+	var page map[string]int
+	if err := json.Unmarshal(get(t, srv, "/debug/quality"), &page); err != nil {
+		t.Fatal(err)
+	}
+	if page["decisions"] != 7 {
+		t.Fatalf("published page = %+v", page)
+	}
+
+	// Late registration: pages added after the server started still serve
+	// (the lookup is per request) — the CLIs construct engines after Serve.
+	o.Publish("/debug/late", func() any { return map[string]bool{"late": true} })
+	var late map[string]bool
+	if err := json.Unmarshal(get(t, srv, "/debug/late"), &late); err != nil {
+		t.Fatal(err)
+	}
+	if !late["late"] {
+		t.Fatalf("late page = %+v", late)
+	}
+
+	// Explicit endpoints are not shadowed by the fallback.
+	o.Publish("/debug/metrics", func() any { return "shadowed" })
+	var snap map[string]json.RawMessage
+	if err := json.Unmarshal(get(t, srv, "/debug/metrics"), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := snap["counters"]; !ok {
+		t.Fatal("published page shadowed the real /debug/metrics endpoint")
+	}
+
+	// Unknown debug paths 404.
+	resp, err := srv.Client().Get(srv.URL + "/debug/nonexistent")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Fatalf("unknown page status = %d, want 404", resp.StatusCode)
+	}
+}

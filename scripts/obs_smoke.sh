@@ -5,8 +5,10 @@
 # port path the acceptance criterion names) and -linger so the process
 # survives past the run, parses the printed listen address, and fetches
 # every debug endpoint: /debug/metrics must contain a known engine
-# counter, /debug/vars the expvar staples, /debug/trace real decision
-# events, and /debug/pprof/ must serve. Run via `make obs-smoke`.
+# counter (and its Prometheus rendering under ?format=prom), /debug/vars
+# the expvar staples, /debug/trace real decision events, /debug/quality
+# the regret-oracle snapshot (-quality enables it), and /debug/pprof/
+# must serve. Run via `make obs-smoke`.
 set -euo pipefail
 
 GO=${GO:-go}
@@ -29,7 +31,7 @@ fetch() {
 }
 
 "$GO" build -o "$tmp/adaedge" ./cmd/adaedge
-"$tmp/adaedge" -mode online -ratio 0.1 -segments 50 \
+"$tmp/adaedge" -mode online -ratio 0.1 -segments 50 -quality 4 \
 	-debug-addr 127.0.0.1:0 -linger 60s >"$tmp/out.log" 2>&1 &
 pid=$!
 
@@ -53,6 +55,18 @@ echo "$metrics" | grep -q '"core.online.segments"' ||
 	{ echo "metrics missing core.online.segments: $metrics"; exit 1; }
 echo "$metrics" | grep -q '"histograms"' ||
 	{ echo "metrics missing histograms block"; exit 1; }
+echo "$metrics" | grep -q '"p95"' ||
+	{ echo "metrics histograms missing quantile summaries"; exit 1; }
+
+prom=$(fetch "http://$addr/debug/metrics?format=prom")
+echo "$prom" | grep -q '^core_online_segments ' ||
+	{ echo "prom exposition missing core_online_segments: $prom"; exit 1; }
+echo "$prom" | grep -q '^# TYPE ' ||
+	{ echo "prom exposition missing TYPE headers"; exit 1; }
+
+quality=$(fetch "http://$addr/debug/quality")
+echo "$quality" | grep -q '"cumulative_regret"' ||
+	{ echo "quality snapshot missing cumulative_regret: $quality"; exit 1; }
 
 vars=$(fetch "http://$addr/debug/vars")
 echo "$vars" | grep -q '"memstats"' ||
