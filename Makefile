@@ -8,7 +8,7 @@ VETTOOL := $(BIN)/adaedge-lint
 # Per-target fuzz time for the smoke pass (CI uses the same value).
 FUZZTIME ?= 20s
 
-.PHONY: all build vet lint test race fuzz-smoke obs-smoke bench-json ci clean
+.PHONY: all build vet lint test race fuzz-smoke obs-smoke bench-json bench-compare ci clean
 
 all: build
 
@@ -61,6 +61,20 @@ bench-json:
 	out=BENCH_$$n.json; \
 	$(GO) run ./cmd/adaedge-bench -exp bench -segments $(BENCHSEGMENTS) -json $$out && \
 	$(GO) run ./cmd/adaedge-bench -validate $$out
+
+# bench-compare is the perf gate: regenerate the pinned matrix at the
+# committed baseline's scale and diff against BENCH_baseline.json —
+# quality fields must match exactly, ns_per_segment may not regress more
+# than 10%, allocs_per_op may not materially increase. The CI
+# bench-compare job runs the identical command; EXPERIMENTS.md explains
+# how to read a failure and when/how to refresh the baseline.
+# BENCHBASESEGMENTS must match the committed baseline's matrix or the
+# compare aborts with "matrix mismatch".
+BENCHBASELINE     ?= BENCH_baseline.json
+BENCHBASESEGMENTS ?= 120
+bench-compare:
+	$(GO) run ./cmd/adaedge-bench -exp bench -segments $(BENCHBASESEGMENTS) -json BENCH_head.json
+	$(GO) run ./cmd/adaedge-bench -compare $(BENCHBASELINE) BENCH_head.json
 
 ci: build vet lint race obs-smoke
 

@@ -5,6 +5,7 @@
 //	adaedge-bench -exp all            # every experiment
 //	adaedge-bench -exp fig7           # one figure (fig2..fig15, scale)
 //	adaedge-bench -exp fig12 -segments 400 -budget 65536
+//	adaedge-bench -compare BENCH_baseline.json BENCH_new.json
 //
 // Output is the textual equivalent of each figure's series; EXPERIMENTS.md
 // records how the shapes compare with the paper.
@@ -29,7 +30,21 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof (and the obs endpoints) on this address while experiments run; empty disables")
 	jsonPath := flag.String("json", "", "bench experiment: write the schema-versioned BENCH document to this path")
 	validate := flag.String("validate", "", "validate an existing BENCH_*.json against the schema and exit")
+	compare := flag.String("compare", "", "compare this baseline BENCH_*.json against the NEW document given as the positional argument; exit 1 on regression, 2 on structural error")
+	perfThreshold := flag.Float64("perf-threshold", 0.10, "compare: allowed fractional ns_per_segment increase (0.10 = +10%)")
+	allocSlack := flag.Float64("alloc-slack", 2.0, "compare: allowed absolute allocs_per_op increase; negative fails any increase")
 	flag.Parse()
+
+	if *compare != "" {
+		if flag.NArg() != 1 {
+			fmt.Fprintln(os.Stderr, "usage: adaedge-bench -compare OLD.json NEW.json")
+			os.Exit(experiments.CompareExitError)
+		}
+		os.Exit(experiments.RunCompare(os.Stdout, *compare, flag.Arg(0), experiments.CompareOptions{
+			PerfThreshold: *perfThreshold,
+			AllocSlack:    *allocSlack,
+		}))
+	}
 
 	if *validate != "" {
 		data, err := os.ReadFile(*validate)

@@ -105,6 +105,8 @@ type EpsilonGreedy struct {
 	values  []float64
 	counts  []int
 	rewards []float64
+	// cand and ties are selection scratch, guarded by mu.
+	cand, ties []int
 }
 
 // NewEpsilonGreedy builds the policy for the given arm count.
@@ -135,7 +137,8 @@ func (p *EpsilonGreedy) Arms() int { return len(p.values) }
 func (p *EpsilonGreedy) Select(allowed []bool) int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	candidates := allowedArms(len(p.values), allowed)
+	candidates := allowedArmsInto(p.cand, len(p.values), allowed)
+	p.cand = candidates
 	if len(candidates) == 0 {
 		return -1
 	}
@@ -143,7 +146,7 @@ func (p *EpsilonGreedy) Select(allowed []bool) int {
 	if p.rng.Float64() < p.cfg.Epsilon {
 		arm = candidates[p.rng.Intn(len(candidates))]
 	} else {
-		arm = argmaxIn(p.values, candidates, p.rng)
+		arm = argmaxIn(p.values, candidates, p.rng, &p.ties)
 	}
 	emitSelect(p.cfg, arm)
 	return arm
@@ -216,6 +219,8 @@ type UCB1 struct {
 	counts  []int
 	rewards []float64
 	total   int
+	// cand is selection scratch, guarded by mu.
+	cand []int
 }
 
 // NewUCB1 builds the policy for the given arm count.
@@ -240,7 +245,8 @@ func (p *UCB1) Arms() int { return len(p.values) }
 func (p *UCB1) Select(allowed []bool) int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	candidates := allowedArms(len(p.values), allowed)
+	candidates := allowedArmsInto(p.cand, len(p.values), allowed)
+	p.cand = candidates
 	if len(candidates) == 0 {
 		return -1
 	}
@@ -338,9 +344,15 @@ func fillInto(dst, src []float64) []float64 {
 	return dst
 }
 
-// allowedArms expands the mask into a candidate index list.
-func allowedArms(n int, allowed []bool) []int {
-	out := make([]int, 0, n)
+// allowedArmsInto expands the mask into a candidate index list appended
+// to dst[:0]. Policies pass a scratch field guarded by their mutex, so
+// the per-selection candidate list stops allocating; the returned slice
+// must be handed back to that field.
+func allowedArmsInto(dst []int, n int, allowed []bool) []int {
+	if cap(dst) < n {
+		dst = make([]int, 0, n)
+	}
+	out := dst[:0]
 	for i := 0; i < n; i++ {
 		if allowed == nil || (i < len(allowed) && allowed[i]) {
 			out = append(out, i)
@@ -351,10 +363,11 @@ func allowedArms(n int, allowed []bool) []int {
 
 // argmaxIn returns the candidate with the highest value, breaking ties
 // uniformly at random so early identical estimates don't bias toward low
-// indices.
-func argmaxIn(values []float64, candidates []int, rng *rand.Rand) int {
+// indices. scratch (a policy field, guarded by its mutex) backs the tie
+// list so selection never allocates; the RNG draw sequence is unchanged.
+func argmaxIn(values []float64, candidates []int, rng *rand.Rand, scratch *[]int) int {
 	best := math.Inf(-1)
-	var ties []int
+	ties := (*scratch)[:0]
 	for _, a := range candidates {
 		switch {
 		case values[a] > best:
@@ -365,6 +378,7 @@ func argmaxIn(values []float64, candidates []int, rng *rand.Rand) int {
 			ties = append(ties, a)
 		}
 	}
+	*scratch = ties
 	if len(ties) == 1 {
 		return ties[0]
 	}

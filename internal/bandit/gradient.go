@@ -23,6 +23,9 @@ type Gradient struct {
 	alpha    float64
 	meanR    float64
 	observed int
+	// cand and probs are selection/update scratch, guarded by mu.
+	cand  []int
+	probs []float64
 }
 
 // NewGradient builds the policy for the given arm count.
@@ -47,7 +50,8 @@ func NewGradient(arms int, cfg Config) *Gradient {
 // Arms implements Policy.
 func (p *Gradient) Arms() int { return len(p.prefs) }
 
-// softmax returns the action distribution restricted to the candidates.
+// softmax returns the action distribution restricted to the candidates,
+// backed by the policy's probs scratch (valid until the next call).
 func (p *Gradient) softmax(candidates []int) []float64 {
 	maxPref := math.Inf(-1)
 	for _, a := range candidates {
@@ -55,7 +59,10 @@ func (p *Gradient) softmax(candidates []int) []float64 {
 			maxPref = p.prefs[a]
 		}
 	}
-	probs := make([]float64, len(candidates))
+	if cap(p.probs) < len(candidates) {
+		p.probs = make([]float64, len(candidates))
+	}
+	probs := p.probs[:len(candidates)]
 	var z float64
 	for i, a := range candidates {
 		probs[i] = math.Exp(p.prefs[a] - maxPref)
@@ -71,7 +78,8 @@ func (p *Gradient) softmax(candidates []int) []float64 {
 func (p *Gradient) Select(allowed []bool) int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	candidates := allowedArms(len(p.prefs), allowed)
+	candidates := allowedArmsInto(p.cand, len(p.prefs), allowed)
+	p.cand = candidates
 	if len(candidates) == 0 {
 		return -1
 	}
@@ -101,7 +109,8 @@ func (p *Gradient) Update(arm int, reward float64) {
 	p.observed++
 	p.rewards[arm] += reward
 	p.meanR += (reward - p.meanR) / float64(p.observed)
-	all := allowedArms(len(p.prefs), nil)
+	all := allowedArmsInto(p.cand, len(p.prefs), nil)
+	p.cand = all
 	probs := p.softmax(all)
 	adv := reward - p.meanR
 	for i, a := range all {

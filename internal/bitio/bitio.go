@@ -88,6 +88,17 @@ func (w *Writer) Reset() {
 	w.bits = 0
 }
 
+// ResetBuf makes the writer continue appending to buf, keeping buf's
+// existing (byte-aligned) content as a prefix. It is the zero-allocation
+// entry point for codecs that build a header with byte-level appends and
+// then switch to bit-level writes over the same caller-owned buffer: the
+// final Bytes() is header plus bitstream with no join copy. The writer
+// takes ownership of buf's backing array until Bytes() is taken.
+func (w *Writer) ResetBuf(buf []byte) {
+	w.buf = buf
+	w.bits = 0
+}
+
 // Reader consumes bits most-significant-bit first from a byte slice.
 type Reader struct {
 	buf []byte
@@ -98,6 +109,14 @@ type Reader struct {
 // NewReader wraps data without copying.
 func NewReader(data []byte) *Reader {
 	return &Reader{buf: data}
+}
+
+// Reset rewinds the reader onto data without copying, so one stack- or
+// struct-resident Reader can serve many decodes allocation-free.
+func (r *Reader) Reset(data []byte) {
+	r.buf = data
+	r.pos = 0
+	r.bit = 0
 }
 
 // ReadBit consumes a single bit.

@@ -123,6 +123,60 @@ func TestWriterReset(t *testing.T) {
 	}
 }
 
+func TestWriterResetBuf(t *testing.T) {
+	// A header built with plain appends must survive as a byte-aligned
+	// prefix of the final stream.
+	hdr := []byte{0xAA, 0xBB}
+	var w Writer
+	w.ResetBuf(hdr)
+	w.WriteBits(0x5, 3)
+	out := w.Bytes()
+	if out[0] != 0xAA || out[1] != 0xBB {
+		t.Fatalf("header prefix clobbered: % x", out[:2])
+	}
+	if w.BitLen() != 16+3 {
+		t.Fatalf("BitLen = %d, want 19", w.BitLen())
+	}
+	r := NewReader(out[2:])
+	if got, _ := r.ReadBits(3); got != 0x5 {
+		t.Fatalf("bit payload = %#x, want 0x5", got)
+	}
+	// Reusing the same backing array must not allocate and must fully
+	// overwrite the previous content.
+	allocs := testing.AllocsPerRun(100, func() {
+		w.ResetBuf(out[:0])
+		w.WriteBits(0x2, 3)
+		_ = w.Bytes()
+	})
+	if allocs != 0 {
+		t.Fatalf("ResetBuf reuse allocates %v per run", allocs)
+	}
+}
+
+func TestReaderReset(t *testing.T) {
+	r := NewReader([]byte{0xF0})
+	if _, err := r.ReadBits(8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadBit(); err != ErrShortRead {
+		t.Fatalf("want ErrShortRead, got %v", err)
+	}
+	r.Reset([]byte{0x80, 0x01})
+	if got := r.Remaining(); got != 16 {
+		t.Fatalf("Remaining after Reset = %d, want 16", got)
+	}
+	b, err := r.ReadBit()
+	if err != nil || !b {
+		t.Fatalf("first bit after Reset = %v, %v", b, err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		r.Reset(nil)
+	})
+	if allocs != 0 {
+		t.Fatalf("Reset allocates %v per run", allocs)
+	}
+}
+
 func TestWriteByte(t *testing.T) {
 	w := NewWriter(4)
 	if err := w.WriteByte(0x5A); err != nil {

@@ -1,0 +1,113 @@
+package compress
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// Buffer-aliasing property tests: after the zero-alloc pass, every codec
+// must tolerate its scratch buffers being reused across calls — stale
+// bytes from a previous segment in dst must never leak into an encoding,
+// and no codec may retain a reference into a caller's buffer and write to
+// it on a later call. These are exactly the bugs a pooled-buffer refactor
+// can introduce while every single-use test stays green.
+
+// aliasSegments returns two deliberately different segments, the second
+// longer than the first so the second encoding crosses the first's
+// growth boundary.
+func aliasSegments() (a, b []float64) {
+	a = make([]float64, 96)
+	for i := range a {
+		a[i] = float64(i%13)/4 - 1.5
+	}
+	b = make([]float64, 160)
+	for i := range b {
+		b[i] = float64((i*7)%29)/8 + 0.0625
+	}
+	return a, b
+}
+
+func TestScratchReuseIndependence(t *testing.T) {
+	sigA, sigB := aliasSegments()
+	reg := ExtendedRegistry(4)
+	for _, name := range reg.SortedNames() {
+		c, _ := reg.Lookup(name)
+		t.Run(name, func(t *testing.T) {
+			// Reference round trips with fresh buffers.
+			freshA, err := c.Compress(sigA)
+			if err != nil {
+				t.Fatal(err)
+			}
+			freshB, err := c.Compress(sigB)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantA, err := c.Decompress(freshA)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantB, err := c.Decompress(freshB)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Round trip A through scratch, then B through the SAME scratch.
+			encScratch := make([]byte, 0, 8)
+			decScratch := make([]float64, 0, 1)
+			encA, err := CompressInto(c, encScratch, sigA)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(encA.Data, freshA.Data) {
+				t.Fatal("scratch encoding of A differs from fresh encoding")
+			}
+			aliasedA := encA.Data // aliases the scratch we are about to reuse
+			keptA := append([]byte(nil), encA.Data...)
+
+			gotA, err := DecompressInto(c, decScratch, encA)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(gotA, wantA) {
+				t.Fatal("scratch decode of A differs from fresh decode")
+			}
+
+			encB, err := CompressInto(c, aliasedA[:0], sigB)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(encB.Data, freshB.Data) {
+				t.Fatal("stale scratch content leaked into encoding of B")
+			}
+			gotB, err := DecompressInto(c, gotA[:0], encB)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(gotB, wantB) {
+				t.Fatal("stale float scratch leaked into decode of B")
+			}
+
+			// A retained-slice bug would have written B's bytes through a
+			// held reference into A's old buffer; the clone taken before
+			// reuse must still decode to A.
+			reA, err := c.Decompress(Encoded{Codec: encA.Codec, Data: keptA, N: encA.N})
+			if err != nil {
+				t.Fatalf("cloned encoding of A no longer decodes: %v", err)
+			}
+			if !reflect.DeepEqual(reA, wantA) {
+				t.Fatal("cloned encoding of A decodes to different values after scratch reuse")
+			}
+
+			// Compressing a third time into a fresh buffer must not touch
+			// encB's bytes through any codec-retained reference.
+			keptB := append([]byte(nil), encB.Data...)
+			if _, err := CompressInto(c, nil, sigA); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(encB.Data, keptB) {
+				t.Fatal("later compression mutated an earlier encoding (retained slice)")
+			}
+		})
+	}
+}

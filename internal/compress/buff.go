@@ -23,15 +23,21 @@ type buffCore struct {
 }
 
 func (b buffCore) encode(values []float64, dropLimit int) (Encoded, error) {
+	return b.encodeInto(nil, values, dropLimit)
+}
+
+// encodeInto appends the encoding to dst[:0]. The quantization runs twice —
+// once for the min/max scan, once while packing — trading a handful of
+// rounds per point for dropping the per-segment int64 staging slice, which
+// is what keeps the speculative trial loop allocation-free.
+func (b buffCore) encodeInto(dst []byte, values []float64, dropLimit int) (Encoded, error) {
 	if len(values) == 0 {
 		return Encoded{}, ErrEmptyInput
 	}
-	ints := make([]int64, len(values))
 	minQ := int64(math.MaxInt64)
 	maxQ := int64(math.MinInt64)
-	for i, v := range values {
+	for _, v := range values {
 		q := int64(math.Round(v * b.scale))
-		ints[i] = q
 		if q < minQ {
 			minQ = q
 		}
@@ -49,18 +55,27 @@ func (b buffCore) encode(values []float64, dropLimit int) (Encoded, error) {
 	}
 	storedWidth := width - drop
 
-	out := putUvarint(nil, uint64(len(values)))
+	if cap(dst) == 0 {
+		dst = make([]byte, 0, len(values)*storedWidth/8+16)
+	}
+	out := putUvarint(dst[:0], uint64(len(values)))
 	out = putUvarint(out, uint64(b.precision))
 	out = binary.AppendUvarint(out, bitio.ZigZag(minQ))
 	out = append(out, byte(width), byte(drop))
-	w := bitio.NewWriter(len(values)*storedWidth/8 + 1)
-	for _, q := range ints {
+	var w bitio.Writer
+	w.ResetBuf(out)
+	for _, v := range values {
+		q := int64(math.Round(v * b.scale))
 		w.WriteBits(uint64(q-minQ)>>uint(drop), uint(storedWidth))
 	}
-	return Encoded{Data: append(out, w.Bytes()...), N: len(values)}, nil
+	return Encoded{Data: w.Bytes(), N: len(values)}, nil
 }
 
 func (b buffCore) decode(enc Encoded) ([]float64, error) {
+	return b.decodeInto(nil, enc)
+}
+
+func (b buffCore) decodeInto(dst []float64, enc Encoded) ([]float64, error) {
 	data := enc.Data
 	count, n, err := readCount(data)
 	if err != nil {
@@ -94,8 +109,12 @@ func (b buffCore) decode(enc Encoded) ([]float64, error) {
 	if drop > 0 {
 		bias = 1 << uint(drop-1)
 	}
-	r := bitio.NewReader(data)
-	out := make([]float64, count)
+	var r bitio.Reader
+	r.Reset(data)
+	if uint64(cap(dst)) < count {
+		dst = make([]float64, count)
+	}
+	out := dst[:count]
 	for i := range out {
 		d, err := r.ReadBits(uint(storedWidth))
 		if err != nil {
@@ -139,7 +158,12 @@ func (*BUFF) Name() string { return "buff" }
 
 // Compress implements Codec.
 func (b *BUFF) Compress(values []float64) (Encoded, error) {
-	enc, err := b.core.encode(values, 0)
+	return b.CompressInto(nil, values)
+}
+
+// CompressInto implements IntoCodec.
+func (b *BUFF) CompressInto(dst []byte, values []float64) (Encoded, error) {
+	enc, err := b.core.encodeInto(dst, values, 0)
 	if err != nil {
 		return Encoded{}, err
 	}
@@ -149,10 +173,15 @@ func (b *BUFF) Compress(values []float64) (Encoded, error) {
 
 // Decompress implements Codec.
 func (b *BUFF) Decompress(enc Encoded) ([]float64, error) {
+	return b.DecompressInto(nil, enc)
+}
+
+// DecompressInto implements IntoCodec.
+func (b *BUFF) DecompressInto(dst []float64, enc Encoded) ([]float64, error) {
 	if enc.Codec != b.Name() {
 		return nil, ErrCodecMismatch
 	}
-	return b.core.decode(enc)
+	return b.core.decodeInto(dst, enc)
 }
 
 // BUFFLossy is BUFF acting as a lossy codec by discarding insignificant
@@ -171,7 +200,12 @@ func (*BUFFLossy) Name() string { return "bufflossy" }
 
 // Compress implements Codec (no truncation).
 func (b *BUFFLossy) Compress(values []float64) (Encoded, error) {
-	enc, err := b.core.encode(values, 0)
+	return b.CompressInto(nil, values)
+}
+
+// CompressInto implements IntoCodec (no truncation).
+func (b *BUFFLossy) CompressInto(dst []byte, values []float64) (Encoded, error) {
+	enc, err := b.core.encodeInto(dst, values, 0)
 	if err != nil {
 		return Encoded{}, err
 	}
@@ -181,10 +215,15 @@ func (b *BUFFLossy) Compress(values []float64) (Encoded, error) {
 
 // Decompress implements Codec.
 func (b *BUFFLossy) Decompress(enc Encoded) ([]float64, error) {
+	return b.DecompressInto(nil, enc)
+}
+
+// DecompressInto implements IntoCodec.
+func (b *BUFFLossy) DecompressInto(dst []float64, enc Encoded) ([]float64, error) {
 	if enc.Codec != b.Name() {
 		return nil, ErrCodecMismatch
 	}
-	return b.core.decode(enc)
+	return b.core.decodeInto(dst, enc)
 }
 
 // widthForRatio converts a target ratio into the per-value bit width

@@ -48,12 +48,20 @@ var chimpLeadingValue = [8]int{0, 8, 12, 16, 18, 20, 22, 24}
 const chimpTrailingThreshold = 6
 
 // Compress implements Codec.
-func (*Chimp) Compress(values []float64) (Encoded, error) {
+func (c *Chimp) Compress(values []float64) (Encoded, error) {
+	return c.CompressInto(nil, values)
+}
+
+// CompressInto implements IntoCodec.
+func (*Chimp) CompressInto(dst []byte, values []float64) (Encoded, error) {
 	if len(values) == 0 {
 		return Encoded{}, ErrEmptyInput
 	}
-	header := putUvarint(nil, uint64(len(values)))
-	w := bitio.NewWriter(len(values) * 4)
+	if cap(dst) == 0 {
+		dst = make([]byte, 0, len(values)*4)
+	}
+	var w bitio.Writer
+	w.ResetBuf(putUvarint(dst[:0], uint64(len(values))))
 	prev := math.Float64bits(values[0])
 	w.WriteUint64(prev)
 	prevLeadCode := -1
@@ -88,11 +96,16 @@ func (*Chimp) Compress(values []float64) (Encoded, error) {
 			prevLeadCode = leadCode
 		}
 	}
-	return Encoded{Codec: "chimp", Data: append(header, w.Bytes()...), N: len(values)}, nil
+	return Encoded{Codec: "chimp", Data: w.Bytes(), N: len(values)}, nil
 }
 
 // Decompress implements Codec.
 func (c *Chimp) Decompress(enc Encoded) ([]float64, error) {
+	return c.DecompressInto(nil, enc)
+}
+
+// DecompressInto implements IntoCodec.
+func (c *Chimp) DecompressInto(dst []float64, enc Encoded) ([]float64, error) {
 	if enc.Codec != c.Name() {
 		return nil, ErrCodecMismatch
 	}
@@ -100,8 +113,12 @@ func (c *Chimp) Decompress(enc Encoded) ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
-	r := bitio.NewReader(enc.Data[n:])
-	out := make([]float64, 0, count)
+	var r bitio.Reader
+	r.Reset(enc.Data[n:])
+	if uint64(cap(dst)) < count {
+		dst = make([]float64, 0, count)
+	}
+	out := dst[:0]
 	prev, err := r.ReadUint64()
 	if err != nil {
 		return nil, ErrCorrupt

@@ -48,6 +48,45 @@ type Codec interface {
 	Decompress(enc Encoded) ([]float64, error)
 }
 
+// IntoCodec is a codec whose hot paths can reuse caller-owned buffers,
+// mirroring the EstimatesInto append idiom in internal/bandit. The bit-kernel
+// codecs (Gorilla, Chimp, Sprintz, BUFF) implement it so the speculative
+// trial loop can run allocation-free in steady state.
+//
+// Buffer ownership: CompressInto appends the encoding to dst[:0] and the
+// returned Encoded.Data aliases dst's backing array (or a growth of it) —
+// the caller must not reuse dst until it is done with the Encoded.
+// DecompressInto likewise appends decoded points to dst[:0] and returns a
+// slice aliasing it. Neither retains its arguments past the call; see
+// DESIGN.md §10 for the full ownership rules.
+type IntoCodec interface {
+	Codec
+	// CompressInto encodes values into dst's backing array, growing it as
+	// needed. Equivalent bytes to Compress.
+	CompressInto(dst []byte, values []float64) (Encoded, error)
+	// DecompressInto decodes enc into dst's backing array, growing it as
+	// needed. Equivalent values to Decompress.
+	DecompressInto(dst []float64, enc Encoded) ([]float64, error)
+}
+
+// CompressInto dispatches to c's buffer-reusing path when it has one and
+// falls back to a plain Compress (which allocates fresh output) otherwise.
+func CompressInto(c Codec, dst []byte, values []float64) (Encoded, error) {
+	if ic, ok := c.(IntoCodec); ok {
+		return ic.CompressInto(dst, values)
+	}
+	return c.Compress(values)
+}
+
+// DecompressInto dispatches to c's buffer-reusing decode path when it has
+// one, falling back to a plain Decompress.
+func DecompressInto(c Codec, dst []float64, enc Encoded) ([]float64, error) {
+	if ic, ok := c.(IntoCodec); ok {
+		return ic.DecompressInto(dst, enc)
+	}
+	return c.Decompress(enc)
+}
+
 // LossyCodec is a codec tunable to a desired compression ratio. Given a
 // target ratio r, CompressRatio produces output of approximately r × 8N
 // bytes, trading accuracy for space.
@@ -164,6 +203,16 @@ func (r *Registry) Decompress(enc Encoded) ([]float64, error) {
 		return nil, fmt.Errorf("compress: unknown codec %q", enc.Codec)
 	}
 	return c.Decompress(enc)
+}
+
+// DecompressInto dispatches to the codec recorded in enc, reusing dst's
+// backing array when the codec supports it.
+func (r *Registry) DecompressInto(dst []float64, enc Encoded) ([]float64, error) {
+	c, ok := r.Lookup(enc.Codec)
+	if !ok {
+		return nil, fmt.Errorf("compress: unknown codec %q", enc.Codec)
+	}
+	return DecompressInto(c, dst, enc)
 }
 
 // DefaultRegistry assembles the full candidate set evaluated in the paper:

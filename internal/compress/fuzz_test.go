@@ -17,6 +17,20 @@ func fuzzSeeds(t interface{ Helper() }, c Codec) [][]byte {
 	if enc, err := c.Compress(sig); err == nil {
 		seeds = append(seeds, enc.Data)
 	}
+	// Growth-boundary lengths: segments whose encodings land on the edges
+	// of the kernels' internal block and buffer boundaries (Sprintz
+	// 8-residual blocks, partial trailing bytes, append-doubling points of
+	// the pre-pooling writers), where the scratch-reuse paths are most
+	// likely to mis-handle a reallocation.
+	for _, n := range []int{1, 8, 9, 64, 65, 255, 257} {
+		edge := make([]float64, n)
+		for i := range edge {
+			edge[i] = float64((i*11)%19)/8 - 0.75
+		}
+		if enc, err := CompressInto(c, make([]byte, 0, 8), edge); err == nil {
+			seeds = append(seeds, append([]byte(nil), enc.Data...))
+		}
+	}
 	if lc, ok := c.(LossyCodec); ok {
 		long := make([]float64, 256)
 		for i := range long {

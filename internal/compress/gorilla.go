@@ -26,12 +26,20 @@ func NewGorilla() *Gorilla { return &Gorilla{} }
 func (*Gorilla) Name() string { return "gorilla" }
 
 // Compress implements Codec.
-func (*Gorilla) Compress(values []float64) (Encoded, error) {
+func (g *Gorilla) Compress(values []float64) (Encoded, error) {
+	return g.CompressInto(nil, values)
+}
+
+// CompressInto implements IntoCodec.
+func (*Gorilla) CompressInto(dst []byte, values []float64) (Encoded, error) {
 	if len(values) == 0 {
 		return Encoded{}, ErrEmptyInput
 	}
-	header := putUvarint(nil, uint64(len(values)))
-	w := bitio.NewWriter(len(values) * 4)
+	if cap(dst) == 0 {
+		dst = make([]byte, 0, len(values)*4)
+	}
+	var w bitio.Writer
+	w.ResetBuf(putUvarint(dst[:0], uint64(len(values))))
 	prev := math.Float64bits(values[0])
 	w.WriteUint64(prev)
 	prevLeading, prevTrailing := -1, -1
@@ -67,11 +75,16 @@ func (*Gorilla) Compress(values []float64) (Encoded, error) {
 			prevLeading, prevTrailing = leading, trailing
 		}
 	}
-	return Encoded{Codec: "gorilla", Data: append(header, w.Bytes()...), N: len(values)}, nil
+	return Encoded{Codec: "gorilla", Data: w.Bytes(), N: len(values)}, nil
 }
 
 // Decompress implements Codec.
 func (g *Gorilla) Decompress(enc Encoded) ([]float64, error) {
+	return g.DecompressInto(nil, enc)
+}
+
+// DecompressInto implements IntoCodec.
+func (g *Gorilla) DecompressInto(dst []float64, enc Encoded) ([]float64, error) {
 	if enc.Codec != g.Name() {
 		return nil, ErrCodecMismatch
 	}
@@ -79,8 +92,12 @@ func (g *Gorilla) Decompress(enc Encoded) ([]float64, error) {
 	if err != nil {
 		return nil, err
 	}
-	r := bitio.NewReader(enc.Data[n:])
-	out := make([]float64, 0, count)
+	var r bitio.Reader
+	r.Reset(enc.Data[n:])
+	if uint64(cap(dst)) < count {
+		dst = make([]float64, 0, count)
+	}
+	out := dst[:0]
 	prev, err := r.ReadUint64()
 	if err != nil {
 		return nil, ErrCorrupt

@@ -41,8 +41,8 @@ type fire struct {
 	alpha       int64
 }
 
-func newFire(first int64) *fire {
-	return &fire{prev: first, prev2: first, alpha: 256} // start at pure delta-of-delta weight 1
+func newFire(first int64) fire {
+	return fire{prev: first, prev2: first, alpha: 256} // start at pure delta-of-delta weight 1
 }
 
 func (f *fire) predict() int64 {
@@ -69,51 +69,76 @@ func (f *fire) update(actual int64) {
 
 // Compress implements Codec.
 func (s *Sprintz) Compress(values []float64) (Encoded, error) {
+	return s.CompressInto(nil, values)
+}
+
+// quantize maps v to its fixed-point representation, rejecting values the
+// int64 pipeline cannot carry.
+func (s *Sprintz) quantize(v float64) (int64, error) {
+	q := math.Round(v * s.scale)
+	if q > math.MaxInt64/4 || q < math.MinInt64/4 {
+		return 0, fmt.Errorf("compress: value %g overflows sprintz quantization at precision %d", v, s.precision)
+	}
+	return int64(q), nil
+}
+
+// CompressInto implements IntoCodec. Residuals are quantized, predicted
+// and packed in one streaming pass over blocks of eight, so the encoder
+// needs no intermediate slices — only dst.
+func (s *Sprintz) CompressInto(dst []byte, values []float64) (Encoded, error) {
 	if len(values) == 0 {
 		return Encoded{}, ErrEmptyInput
 	}
-	ints := make([]int64, len(values))
-	for i, v := range values {
-		q := math.Round(v * s.scale)
-		if q > math.MaxInt64/4 || q < math.MinInt64/4 {
-			return Encoded{}, fmt.Errorf("compress: value %g overflows sprintz quantization at precision %d", v, s.precision)
-		}
-		ints[i] = int64(q)
+	if cap(dst) == 0 {
+		dst = make([]byte, 0, len(values)*2+2*binary.MaxVarintLen64)
 	}
-	out := putUvarint(nil, uint64(len(values)))
+	first, err := s.quantize(values[0])
+	if err != nil {
+		return Encoded{}, err
+	}
+	out := putUvarint(dst[:0], uint64(len(values)))
 	out = putUvarint(out, uint64(s.precision))
-	out = binary.AppendUvarint(out, bitio.ZigZag(ints[0]))
+	out = binary.AppendUvarint(out, bitio.ZigZag(first))
 
-	f := newFire(ints[0])
-	residuals := make([]uint64, 0, len(ints)-1)
-	for _, v := range ints[1:] {
-		residuals = append(residuals, bitio.ZigZag(v-f.predict()))
-		f.update(v)
-	}
-
-	w := bitio.NewWriter(len(values) * 2)
-	for start := 0; start < len(residuals); start += 8 {
+	var w bitio.Writer
+	w.ResetBuf(out)
+	f := newFire(first)
+	var block [8]uint64
+	for start := 1; start < len(values); start += 8 {
 		end := start + 8
-		if end > len(residuals) {
-			end = len(residuals)
+		if end > len(values) {
+			end = len(values)
 		}
-		block := residuals[start:end]
+		n := end - start
+		for i := 0; i < n; i++ {
+			q, err := s.quantize(values[start+i])
+			if err != nil {
+				return Encoded{}, err
+			}
+			block[i] = bitio.ZigZag(q - f.predict())
+			f.update(q)
+		}
 		width := 0
-		for _, r := range block {
+		for _, r := range block[:n] {
 			if b := bitsFor(r); r > 0 && b > width {
 				width = b
 			}
 		}
 		w.WriteBits(uint64(width), 7)
-		for _, r := range block {
+		for _, r := range block[:n] {
 			w.WriteBits(r, uint(width))
 		}
 	}
-	return Encoded{Codec: "sprintz", Data: append(out, w.Bytes()...), N: len(values)}, nil
+	return Encoded{Codec: "sprintz", Data: w.Bytes(), N: len(values)}, nil
 }
 
 // Decompress implements Codec.
 func (s *Sprintz) Decompress(enc Encoded) ([]float64, error) {
+	return s.DecompressInto(nil, enc)
+}
+
+// DecompressInto implements IntoCodec.
+func (s *Sprintz) DecompressInto(dst []float64, enc Encoded) ([]float64, error) {
 	if enc.Codec != s.Name() {
 		return nil, ErrCodecMismatch
 	}
@@ -136,10 +161,14 @@ func (s *Sprintz) Decompress(enc Encoded) ([]float64, error) {
 	scale := math.Pow10(int(prec))
 
 	first := bitio.UnZigZag(firstZZ)
-	out := make([]float64, 0, count)
+	if uint64(cap(dst)) < count {
+		dst = make([]float64, 0, count)
+	}
+	out := dst[:0]
 	out = append(out, float64(first)/scale)
 	f := newFire(first)
-	r := bitio.NewReader(data)
+	var r bitio.Reader
+	r.Reset(data)
 	remaining := int(count) - 1
 	for remaining > 0 {
 		width, err := r.ReadBits(7)

@@ -49,6 +49,15 @@ type OfflineEngine struct {
 	// emitted on the ingest goroutine only (see internal/core/obs.go).
 	om *offlineMetrics
 
+	// Ingest-goroutine-only decode/mask scratch, reused across recodes so
+	// the steady-state recoding loop stops allocating per victim. Each
+	// slice backs exactly one concurrently-live decode (see the call
+	// sites); none of them escapes the engine.
+	armMask   []bool
+	recodeDec []float64 // recodeEntry's shared victim decode
+	scoreDec  []float64 // scoreRecode's candidate decode
+	scoreRaw  []float64 // scoreRecode's fallback reference decode
+
 	// statsMu guards stats and accLoss so Stats/Snapshot can be polled
 	// while another goroutine (e.g. an OfflineRunner worker) ingests.
 	// Ingest itself stays single-goroutine; see the type comment.
@@ -291,16 +300,23 @@ func (e *OfflineEngine) recodeEntry(victim *store.Entry) (bool, error) {
 		if values != nil {
 			return values, nil
 		}
-		v, err := e.reg.Decompress(victim.Enc)
+		v, err := e.reg.DecompressInto(e.recodeDec[:0], victim.Enc)
 		if err != nil {
 			return nil, err
 		}
+		e.recodeDec = v
 		values = v
 		return v, nil
 	}
 
 	mab := e.lossyPool.For(target)
-	allowed := make([]bool, len(e.lossyNames))
+	if cap(e.armMask) < len(e.lossyNames) {
+		e.armMask = make([]bool, len(e.lossyNames))
+	}
+	allowed := e.armMask[:len(e.lossyNames)]
+	for i := range allowed {
+		allowed[i] = false
+	}
 	anyAllowed := false
 	ref := victim.EvalRaw
 	if ref == nil {
@@ -451,7 +467,13 @@ func (e *OfflineEngine) speculateRecodeTrials(victim *store.Entry, allowed []boo
 	decoded := cached
 	var decodeErr error
 	if needDecode && decoded == nil {
-		decoded, decodeErr = e.reg.Decompress(victim.Enc)
+		// Same scratch as recodeEntry's decode: at most one of the two
+		// runs per victim, and the caller adopts this decode as its
+		// cached values, so the lifetimes never overlap.
+		decoded, decodeErr = e.reg.DecompressInto(e.recodeDec[:0], victim.Enc)
+		if decodeErr == nil {
+			e.recodeDec = decoded
+		}
 	}
 	trials := make([]recodeTrial, len(e.lossyNames))
 	workers := e.cfg.Workers
@@ -499,18 +521,20 @@ func (e *OfflineEngine) speculateRecodeTrials(victim *store.Entry, allowed []boo
 // scoreRecode evaluates the recoded representation against the ground
 // truth and returns (bandit reward, accuracy loss).
 func (e *OfflineEngine) scoreRecode(victim *store.Entry, newEnc compress.Encoded) (reward, accLoss float64, err error) {
-	decoded, err := e.reg.Decompress(newEnc)
+	decoded, err := e.reg.DecompressInto(e.scoreDec[:0], newEnc)
 	if err != nil {
 		return 0, 0, err
 	}
+	e.scoreDec = decoded
 	raw := victim.EvalRaw
 	if raw == nil {
 		// Without retained ground truth, score against the previous
 		// representation (best available reference).
-		raw, err = e.reg.Decompress(victim.Enc)
+		raw, err = e.reg.DecompressInto(e.scoreRaw[:0], victim.Enc)
 		if err != nil {
 			return 0, 0, err
 		}
+		e.scoreRaw = raw
 	}
 	obs := Observation{Raw: raw, Decoded: decoded, CompressedBytes: newEnc.Size()}
 	return e.eval.Reward(obs), e.eval.AccuracyLoss(obs), nil

@@ -61,6 +61,10 @@ type OnlineEngine struct {
 	// (see internal/core/quality.go).
 	qo *qualityOracle
 
+	// scr holds decision-goroutine-only scratch (arm masks, parked decode
+	// buffers) reused across segments.
+	scr engineScratch
+
 	statsMu sync.Mutex
 	stats   OnlineStats // guarded by statsMu
 }
@@ -260,8 +264,12 @@ func (e *OnlineEngine) ProcessPrepared(prep *PreparedSegment) (Result, compress.
 	if prep.target != e.EffectiveTarget() {
 		// Retarget (or a pressure change) happened after preparation:
 		// lossy trials assumed the old ratio. Lossless trials and
-		// MinRatio probes are target-independent and stay valid.
+		// MinRatio probes are target-independent and stay valid; the
+		// stale lossy decodes are recycled with the trials they served.
 		e.om.stalePrep()
+		for i := range prep.lossy {
+			prep.lossy[i].t.releaseDecoded()
+		}
 		prep = &PreparedSegment{
 			values:    prep.values,
 			label:     prep.label,
@@ -270,7 +278,9 @@ func (e *OnlineEngine) ProcessPrepared(prep *PreparedSegment) (Result, compress.
 			minRatios: prep.minRatios,
 		}
 	}
-	return e.process(prep.values, prep)
+	res, enc, err := e.process(prep.values, prep)
+	prep.releaseTrials(e, res, err)
+	return res, enc, err
 }
 
 // process is the shared decision path. prep may be nil (fully inline).
@@ -281,6 +291,9 @@ func (e *OnlineEngine) process(values []float64, prep *PreparedSegment) (Result,
 	if e.energy.Exhausted() {
 		return Result{}, compress.Encoded{}, ErrEnergyExhausted
 	}
+	// Parked decode buffers (the inline lossy winner's) are safe to
+	// recycle only after the oracle's observe pass; flush on every exit.
+	defer e.scr.flushDec()
 	id := e.nextID
 	e.nextID++
 	// One consistent target per segment, even if a concurrent Degrade
@@ -341,10 +354,7 @@ func (e *OnlineEngine) tryLossless(target float64) bool {
 // exploratory pick, so on a miss the engine retries the remaining arms
 // before concluding the segment cannot be handled losslessly.
 func (e *OnlineEngine) processLossless(id uint64, values []float64, prep *PreparedSegment, target float64, trials *decisionTrials) (Result, compress.Encoded, bool) {
-	allowed := make([]bool, len(e.losslessNames))
-	for i := range allowed {
-		allowed[i] = true
-	}
+	allowed := e.scr.boolMask(len(e.losslessNames), true)
 	for remaining := len(e.losslessNames); remaining > 0; remaining-- {
 		arm := e.losslessMAB.Select(allowed)
 		if arm < 0 {
@@ -364,6 +374,11 @@ func (e *OnlineEngine) processLossless(id uint64, values []float64, prep *Prepar
 			e.om.spec(ok)
 		}
 		e.om.trial(name, t.dur)
+		// Inline trials that lose are recycled on the spot — unless the
+		// oracle sampled this decision, in which case it reads the noted
+		// trials after this loop and the buffers must outlive it.
+		// Prep-sourced trials are swept by ProcessPrepared instead.
+		recycle := !ok && trials == nil
 		if t.err != nil {
 			e.losslessMAB.Update(arm, 0)
 			continue
@@ -373,10 +388,19 @@ func (e *OnlineEngine) processLossless(id uint64, values []float64, prep *Prepar
 		// workload target: task accuracy is unaffected (paper §IV-C1).
 		e.losslessMAB.Update(arm, 1-minf(ratio, 1))
 		if target < 1 && ratio > target+ratioSlack {
+			if recycle {
+				t.release()
+			}
 			continue
 		}
 		e.losslessFails = 0
 		e.losslessViable.Store(true)
+		if !ok {
+			// The winning encoding escapes with the return; park its
+			// wrapper for RecycleEncoded. Prep-sourced winners are
+			// handed off by the ProcessPrepared sweep.
+			t.handOff()
+		}
 		return Result{
 			SegmentID: id, Codec: name, Lossy: false, Ratio: ratio,
 			Reward: 1 - minf(ratio, 1), Duration: t.dur,
@@ -390,7 +414,7 @@ func (e *OnlineEngine) processLossless(id uint64, values []float64, prep *Prepar
 }
 
 func (e *OnlineEngine) processLossy(id uint64, values []float64, prep *PreparedSegment, target float64, trials *decisionTrials) (Result, compress.Encoded, error) {
-	allowed := make([]bool, len(e.lossyNames))
+	allowed := e.scr.boolMask(len(e.lossyNames), false)
 	feasible := false
 	minRatios := prep.minRatioProbes()
 	for i, name := range e.lossyNames {
@@ -432,6 +456,13 @@ func (e *OnlineEngine) processLossy(id uint64, values []float64, prep *PreparedS
 		e.lossyMAB.Update(arm, 0)
 		return Result{}, compress.Encoded{}, t.decErr
 	}
+	if !ok {
+		// The decode slice feeds the observation below and, on sampled
+		// decisions, the oracle's observe pass; process releases it at
+		// the very end. Prep-sourced decodes are swept by
+		// ProcessPrepared instead.
+		e.scr.parkDec(t.dec)
+	}
 	obs := Observation{Raw: values, Decoded: t.decoded, CompressedBytes: t.enc.Size(), Duration: t.dur}
 	reward := e.eval.Reward(obs)
 	e.lossyMAB.Update(arm, reward)
@@ -441,33 +472,50 @@ func (e *OnlineEngine) processLossy(id uint64, values []float64, prep *PreparedS
 	}, t.enc, nil
 }
 
-// losslessTrial is the outcome of one pure lossless codec attempt.
+// losslessTrial is the outcome of one pure lossless codec attempt. buf is
+// the pool wrapper its encode buffer rides in (nil for error trials); see
+// scratch.go for the release discipline.
 type losslessTrial struct {
 	enc compress.Encoded
 	err error
 	dur time.Duration
+	buf *encBuf
 }
 
-// runLosslessTrial compresses values with one codec. Pure: no engine
-// state is read or written, so it can run on any goroutine.
+// runLosslessTrial compresses values with one codec into a pooled buffer.
+// Pure: no engine state is read or written, so it can run on any
+// goroutine.
 func runLosslessTrial(codec compress.Codec, values []float64) losslessTrial {
+	eb := getEncBuf()
 	start := time.Now()
-	enc, err := codec.Compress(values)
-	return losslessTrial{enc: enc, err: err, dur: time.Since(start)}
+	enc, err := compress.CompressInto(codec, eb.b, values)
+	dur := time.Since(start)
+	if err != nil {
+		// The buffer's capacity survives a failed attempt; hand it
+		// straight back.
+		encBufPool.Put(eb)
+		return losslessTrial{err: err, dur: dur}
+	}
+	// Codecs without an Into path (and growth reallocations) return fresh
+	// backing arrays; track whatever the encoding actually lives in.
+	eb.b = enc.Data
+	return losslessTrial{enc: enc, err: nil, dur: dur, buf: eb}
 }
 
 // lossyTrial is the outcome of one pure lossy codec attempt at a target
-// ratio, including the decode needed for reward evaluation.
+// ratio, including the decode needed for reward evaluation. dec is the
+// pool wrapper of the decoded slice (nil when decoding failed).
 type lossyTrial struct {
 	enc     compress.Encoded
 	err     error
 	decoded []float64
 	decErr  error
 	dur     time.Duration
+	dec     *decBuf
 }
 
-// runLossyTrial compresses values toward ratio and decodes the result.
-// Pure, like runLosslessTrial.
+// runLossyTrial compresses values toward ratio and decodes the result
+// into a pooled slice. Pure, like runLosslessTrial.
 func runLossyTrial(lc compress.LossyCodec, values []float64, ratio float64) lossyTrial {
 	start := time.Now()
 	enc, err := lc.CompressRatio(values, ratio)
@@ -475,8 +523,14 @@ func runLossyTrial(lc compress.LossyCodec, values []float64, ratio float64) loss
 	if err != nil {
 		return lossyTrial{err: err, dur: dur}
 	}
-	decoded, decErr := lc.Decompress(enc)
-	return lossyTrial{enc: enc, decoded: decoded, decErr: decErr, dur: dur}
+	db := getDecBuf()
+	decoded, decErr := compress.DecompressInto(lc, db.v, enc)
+	if decErr != nil {
+		decBufPool.Put(db)
+		return lossyTrial{enc: enc, decErr: decErr, dur: dur}
+	}
+	db.v = decoded
+	return lossyTrial{enc: enc, decoded: decoded, dur: dur, dec: db}
 }
 
 func (e *OnlineEngine) account(res Result) {

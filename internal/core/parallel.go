@@ -31,19 +31,35 @@ import (
 // PreparedSegment carries one segment plus speculatively computed codec
 // trials. Produced by PrepareSegment (any goroutine), consumed by
 // ProcessPrepared (decision goroutine only). The zero/nil value is valid
-// and simply forces all trials inline.
+// and simply forces all trials inline. A PreparedSegment is consumed by
+// ProcessPrepared: its trial buffers return to the shared pools there, so
+// it must not be processed twice.
 type PreparedSegment struct {
 	values []float64
 	label  int
 	// target is the target ratio the lossy trials assumed; ProcessPrepared
 	// drops them when the engine was retargeted in between.
 	target float64
-	// lossless memoizes trials by lossless arm index.
-	lossless map[int]losslessTrial
+	// lossless memoizes trials by lossless arm index. A short slice, not a
+	// map: at most speculativeArms entries, scanned linearly, and the
+	// single backing allocation recycles cleanly.
+	lossless []armLosslessTrial
 	// minRatios holds every lossy arm's MinRatio probe (target-independent).
 	minRatios []float64
 	// lossy memoizes trials by lossy arm index at target.
-	lossy map[int]lossyTrial
+	lossy []armLossyTrial
+}
+
+// armLosslessTrial pairs a lossless trial with the arm it speculates for.
+type armLosslessTrial struct {
+	arm int
+	t   losslessTrial
+}
+
+// armLossyTrial pairs a lossy trial with its arm.
+type armLossyTrial struct {
+	arm int
+	t   lossyTrial
 }
 
 // Values returns the raw segment the preparation wraps.
@@ -53,11 +69,15 @@ func (p *PreparedSegment) Values() []float64 { return p.values }
 func (p *PreparedSegment) Label() int { return p.label }
 
 func (p *PreparedSegment) losslessTrial(arm int) (losslessTrial, bool) {
-	if p == nil || p.lossless == nil {
+	if p == nil {
 		return losslessTrial{}, false
 	}
-	t, ok := p.lossless[arm]
-	return t, ok
+	for i := range p.lossless {
+		if p.lossless[i].arm == arm {
+			return p.lossless[i].t, true
+		}
+	}
+	return losslessTrial{}, false
 }
 
 func (p *PreparedSegment) minRatioProbes() []float64 {
@@ -68,11 +88,39 @@ func (p *PreparedSegment) minRatioProbes() []float64 {
 }
 
 func (p *PreparedSegment) lossyTrialFor(arm int) (lossyTrial, bool) {
-	if p == nil || p.lossy == nil {
+	if p == nil {
 		return lossyTrial{}, false
 	}
-	t, ok := p.lossy[arm]
-	return t, ok
+	for i := range p.lossy {
+		if p.lossy[i].arm == arm {
+			return p.lossy[i].t, true
+		}
+	}
+	return lossyTrial{}, false
+}
+
+// releaseTrials recycles every speculative buffer that did not escape
+// through the decision: losing lossless encodings return to the pool, the
+// winning lossless arm's wrapper is handed off (its bytes left with the
+// caller), and every lossy decode slice is recycled — the lossy winner's
+// encoding has no pooled wrapper, and its decode is only read inside
+// process. Must run after process returns: the oracle's observe pass is
+// the last reader of prepared trials. Idempotent.
+func (p *PreparedSegment) releaseTrials(e *OnlineEngine, res Result, err error) {
+	if p == nil {
+		return
+	}
+	for i := range p.lossless {
+		at := &p.lossless[i]
+		if err == nil && !res.Lossy && e.losslessNames[at.arm] == res.Codec {
+			at.t.handOff()
+			continue
+		}
+		at.t.release()
+	}
+	for i := range p.lossy {
+		p.lossy[i].t.releaseDecoded()
+	}
 }
 
 // speculativeArms is how many of the top estimated arms a worker trials
@@ -113,14 +161,14 @@ func (e *OnlineEngine) PrepareSegmentScratch(values []float64, label int, scratc
 		return p
 	}
 	if target >= 1 || e.losslessViable.Load() {
-		p.lossless = make(map[int]losslessTrial, speculativeArms)
+		p.lossless = make([]armLosslessTrial, 0, speculativeArms)
 		scratch.est = e.losslessMAB.EstimatesInto(scratch.est)
 		for _, arm := range topArms(scratch.est, speculativeArms) {
 			codec, ok := e.reg.Lookup(e.losslessNames[arm])
 			if !ok {
 				continue
 			}
-			p.lossless[arm] = runLosslessTrial(codec, values)
+			p.lossless = append(p.lossless, armLosslessTrial{arm: arm, t: runLosslessTrial(codec, values)})
 		}
 	}
 	if target < 1 {
@@ -136,11 +184,10 @@ func (e *OnlineEngine) PrepareSegmentScratch(values []float64, label int, scratc
 			}
 		}
 		if any {
-			p.lossy = make(map[int]lossyTrial, 1)
 			scratch.est = e.lossyMAB.EstimatesInto(scratch.est)
 			if arm := bestAllowedArm(scratch.est, feasible); arm >= 0 {
 				c, _ := e.reg.Lookup(e.lossyNames[arm])
-				p.lossy[arm] = runLossyTrial(c.(compress.LossyCodec), values, target)
+				p.lossy = append(p.lossy, armLossyTrial{arm: arm, t: runLossyTrial(c.(compress.LossyCodec), values, target)})
 			}
 		}
 	}
@@ -354,18 +401,22 @@ func RunOnlineSegments(ctx context.Context, eng *OnlineEngine, segs []LabeledSeg
 		results := make([]Result, 0, len(segs))
 		var first error
 		for _, s := range segs {
-			res, _, err := eng.Process(s.Values, s.Label)
+			res, enc, err := eng.Process(s.Values, s.Label)
 			if err != nil && first == nil {
 				first = err
 			}
 			results = append(results, res)
+			// Only the Result survives this loop; hand the encoding's
+			// buffer back so steady-state segments allocate nothing.
+			RecycleEncoded(enc)
 		}
 		return results, first
 	}
 	par := NewOnlineParallel(eng, 0)
 	results := make([]Result, 0, len(segs))
-	par.OnResult(func(res Result, _ compress.Encoded, _ error) {
+	par.OnResult(func(res Result, enc compress.Encoded, _ error) {
 		results = append(results, res)
+		RecycleEncoded(enc)
 	})
 	par.Start(ctx)
 	for _, s := range segs {

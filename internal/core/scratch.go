@@ -1,0 +1,141 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/compress"
+)
+
+// Trial-buffer recycling for the speculative evaluator loop.
+//
+// Every segment decision runs up to a dozen codec trials; before this pass
+// each trial allocated its encode buffer (and, for lossy arms, a decode
+// slice) and dropped it on the floor. The pools below keep those buffers
+// circulating: trials carry their pool wrapper through losslessTrial /
+// lossyTrial so recycling a rejected trial is a pointer hand-back, never
+// an allocation.
+//
+// Ownership rules (DESIGN.md §10):
+//
+//   - A trial's buffers belong to the trial until it is released. Release
+//     happens at exactly one site per trial: inline losers are released in
+//     the decision loop (only when the decision is not oracle-sampled —
+//     the oracle reads noted trials later in the same process call), and
+//     prepared trials are swept by ProcessPrepared after the decision and
+//     the oracle's observe pass are both complete.
+//   - The selected trial's encoding escapes to the caller with the
+//     returned compress.Encoded and leaves the pool's circulation; its
+//     emptied wrapper parks in spareEncBufs so RecycleEncoded can re-arm
+//     it without allocating.
+//   - Releasing is idempotent per trial copy (the wrapper pointer is
+//     nil'ed), but distinct copies of one trial share a wrapper — never
+//     release the same trial through two copies.
+//
+// The pools are shared by every engine in the process; sync.Pool makes
+// cross-goroutine hand-offs (worker-prepared trials released on the
+// decision goroutine) race-safe.
+
+// encBuf wraps a trial encode buffer so pool round trips are pointer-sized.
+type encBuf struct{ b []byte }
+
+// decBuf wraps a lossy trial's decode slice.
+type decBuf struct{ v []float64 }
+
+var encBufPool = sync.Pool{New: func() any { return new(encBuf) }}
+var decBufPool = sync.Pool{New: func() any { return new(decBuf) }}
+
+// spareEncBufs holds wrappers whose buffer escaped to a caller.
+// RecycleEncoded re-arms one with the returned bytes, so the
+// winner-buffer hand-off round trip allocates nothing steady-state.
+var spareEncBufs = sync.Pool{New: func() any { return new(encBuf) }}
+
+func getEncBuf() *encBuf { return encBufPool.Get().(*encBuf) }
+func getDecBuf() *decBuf { return decBufPool.Get().(*decBuf) }
+
+// release returns a rejected trial's encode buffer to the pool. Safe on
+// trials that never had a wrapper (error trials, fallback codecs) and on
+// already-released copies.
+func (t *losslessTrial) release() {
+	if t.buf == nil {
+		return
+	}
+	t.buf.b = t.enc.Data
+	encBufPool.Put(t.buf)
+	t.buf = nil
+	t.enc.Data = nil // poison: the encoding is dead after release
+}
+
+// handOff parks the wrapper of a trial whose encoding escapes to the
+// caller. The buffer itself leaves with the Encoded; only the empty
+// wrapper is kept, for RecycleEncoded.
+func (t *losslessTrial) handOff() {
+	if t.buf == nil {
+		return
+	}
+	t.buf.b = nil
+	spareEncBufs.Put(t.buf)
+	t.buf = nil
+}
+
+// releaseDecoded returns a lossy trial's decode slice to the pool. The
+// encode buffer is not pooled: CompressRatio has no Into variant, so
+// there is no wrapper to return. Idempotent per trial copy.
+func (t *lossyTrial) releaseDecoded() {
+	if t.dec == nil {
+		return
+	}
+	t.dec.v = t.decoded
+	decBufPool.Put(t.dec)
+	t.dec = nil
+	t.decoded = nil
+}
+
+// RecycleEncoded hands an Encoded's backing buffer back to the trial
+// pools. Callers that drop every reference to enc.Data once a segment is
+// accounted (benchmark drivers, metrics-only consumers) can call this
+// after each Process/ProcessPrepared to make the steady-state decision
+// loop allocation-free. Callers that retain the bytes — an uplink spool,
+// a storage pool — must NOT recycle: the buffer would be overwritten by
+// a later trial while still referenced.
+func RecycleEncoded(enc compress.Encoded) {
+	if cap(enc.Data) == 0 {
+		return
+	}
+	eb := spareEncBufs.Get().(*encBuf)
+	eb.b = enc.Data
+	encBufPool.Put(eb)
+}
+
+// engineScratch holds slices reused across segments by the decision
+// goroutine. Never touched by PrepareSegment workers.
+type engineScratch struct {
+	mask       []bool
+	pendingDec *decBuf
+}
+
+// boolMask returns a length-n mask with every entry set to fill, reusing
+// the scratch backing array.
+func (s *engineScratch) boolMask(n int, fill bool) []bool {
+	if cap(s.mask) < n {
+		s.mask = make([]bool, n)
+	}
+	m := s.mask[:n]
+	for i := range m {
+		m[i] = fill
+	}
+	return m
+}
+
+// parkDec defers a decode buffer's release to the end of the current
+// process call — after the oracle's observe pass, its last reader.
+func (s *engineScratch) parkDec(d *decBuf) {
+	s.pendingDec = d
+}
+
+// flushDec releases the parked decode buffer, if any.
+func (s *engineScratch) flushDec() {
+	if s.pendingDec != nil {
+		decBufPool.Put(s.pendingDec)
+		s.pendingDec = nil
+	}
+}

@@ -104,6 +104,24 @@ func TestBenchJSONRoundTrip(t *testing.T) {
 		{"missing perf field", func(m map[string]any) {
 			delete(m["cases"].([]any)[0].(map[string]any)["perf"].(map[string]any), "wall_seconds")
 		}, "wall_seconds"},
+		{"unknown top-level field", func(m map[string]any) {
+			m["walltime_total"] = 3.0
+		}, "unknown top-level field"},
+		{"truncated perf object", func(m map[string]any) {
+			delete(m["cases"].([]any)[0].(map[string]any)["perf"].(map[string]any), "ns_per_segment")
+		}, "ns_per_segment"},
+		{"missing allocs_per_op", func(m map[string]any) {
+			delete(m["cases"].([]any)[0].(map[string]any)["perf"].(map[string]any), "allocs_per_op")
+		}, "allocs_per_op"},
+		{"NaN perf field", func(m map[string]any) {
+			// encoding/json cannot emit NaN, but a hand-edited or foreign
+			// document can smuggle it as a string; typed as non-number it
+			// must be rejected, not coerced.
+			m["cases"].([]any)[0].(map[string]any)["perf"].(map[string]any)["ns_per_segment"] = "NaN"
+		}, "ns_per_segment"},
+		{"negative allocs_per_op", func(m map[string]any) {
+			m["cases"].([]any)[0].(map[string]any)["perf"].(map[string]any)["allocs_per_op"] = -4.0
+		}, "allocs_per_op"},
 	}
 	for _, bk := range breakages {
 		var m map[string]any
@@ -125,5 +143,14 @@ func TestBenchJSONRoundTrip(t *testing.T) {
 	}
 	if err := ValidateBenchJSON([]byte("not json")); err == nil {
 		t.Fatal("non-JSON input passed validation")
+	}
+	// A file truncated mid-write (crashed emitter, partial download) must
+	// fail as malformed JSON, never half-validate.
+	if err := ValidateBenchJSON(data[:len(data)/2]); err == nil {
+		t.Fatal("truncated document passed validation")
+	}
+	// Raw NaN/Inf literals are not JSON at all; reject at the parse step.
+	if err := ValidateBenchJSON([]byte(`{"schema_version": NaN}`)); err == nil {
+		t.Fatal("NaN literal passed validation")
 	}
 }

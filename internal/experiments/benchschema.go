@@ -6,11 +6,25 @@ import (
 	"math"
 )
 
-// ValidateBenchJSON checks a BENCH_*.json document against the version-1
-// schema: required fields present, correctly typed, and numerically sane
-// (finite, non-negative where the quantity cannot be negative). It is the
-// contract CI enforces on every emitted artifact, hand-rolled because the
-// repo takes no schema-library dependency.
+// benchTopLevelFields is the closed set of version-2 top-level keys.
+// Unknown keys are rejected: a typoed or stale field silently ignored by
+// a lenient validator would otherwise drift past the -compare gate.
+var benchTopLevelFields = map[string]bool{
+	"schema_version": true,
+	"tool":           true,
+	"go_version":     true,
+	"gomaxprocs":     true,
+	"segments":       true,
+	"seed":           true,
+	"cases":          true,
+}
+
+// ValidateBenchJSON checks a BENCH_*.json document against the version-2
+// schema: required fields present, no unknown top-level fields, correctly
+// typed, and numerically sane (finite, non-negative where the quantity
+// cannot be negative). It is the contract CI enforces on every emitted
+// artifact, hand-rolled because the repo takes no schema-library
+// dependency.
 func ValidateBenchJSON(data []byte) error {
 	var doc map[string]any
 	if err := json.Unmarshal(data, &doc); err != nil {
@@ -22,6 +36,11 @@ func ValidateBenchJSON(data []byte) error {
 	}
 	if int(v) != BenchSchemaVersion {
 		return fmt.Errorf("bench schema: schema_version = %v, validator understands %d", v, BenchSchemaVersion)
+	}
+	for key := range doc {
+		if !benchTopLevelFields[key] {
+			return fmt.Errorf("bench schema: unknown top-level field %q", key)
+		}
 	}
 	for _, key := range []string{"tool", "go_version"} {
 		if _, err := wantString(doc, key); err != nil {
@@ -115,6 +134,7 @@ func validateCase(c map[string]any) error {
 	}
 	for _, key := range []string{
 		"wall_seconds", "segments_per_sec", "raw_bytes_per_sec",
+		"ns_per_segment", "allocs_per_op",
 		"alloc_bytes", "mallocs", "num_gc",
 	} {
 		v, err := wantNumber(p, key)
