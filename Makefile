@@ -8,7 +8,7 @@ VETTOOL := $(BIN)/adaedge-lint
 # Per-target fuzz time for the smoke pass (CI uses the same value).
 FUZZTIME ?= 20s
 
-.PHONY: all build vet lint test race fuzz-smoke obs-smoke bench-json bench-compare ci clean
+.PHONY: all build vet lint escape-gate escape-gate-update test race fuzz-smoke obs-smoke bench-json bench-compare ci clean
 
 all: build
 
@@ -19,10 +19,22 @@ vet:
 	$(GO) vet ./...
 
 # lint builds the adaedge-lint vettool (internal/lint: codecpurity,
-# nopanicdecode, lockdiscipline, seqdeterminism) and runs it over the tree
-# exactly as the adaedge-lint CI job does.
+# nopanicdecode, lockdiscipline, seqdeterminism, bufownership,
+# goroutinediscipline, nowallclock) and runs the whole suite over the tree
+# via its -run front-end (per-analyzer counts, exit 0/1/2), exactly as the
+# adaedge-lint CI job does.
 lint: $(VETTOOL)
-	$(GO) vet -vettool=$(VETTOOL) ./...
+	$(VETTOOL) -run ./...
+
+# escape-gate is the compile-time half of the zero-alloc contract: diff
+# the -gcflags=-m escape decisions in the pinned hot-path files against
+# the committed ESCAPES.baseline (DESIGN.md §10). escape-gate-update
+# refreshes the baseline after an intentional change.
+escape-gate: $(VETTOOL)
+	$(VETTOOL) -escape
+
+escape-gate-update: $(VETTOOL)
+	$(VETTOOL) -escape -escape-update
 
 $(VETTOOL): FORCE
 	@mkdir -p $(BIN)
@@ -37,9 +49,10 @@ race:
 	$(GO) test -race ./...
 
 # fuzz-smoke mirrors the CI fuzz job: every Fuzz* target in the
-# decoder-facing packages gets $(FUZZTIME) of fuzzing.
+# decoder-facing packages (and the bufownership analyzer, seeded with its
+# fixture corpus) gets $(FUZZTIME) of fuzzing.
 fuzz-smoke:
-	@for pkg in ./internal/compress ./internal/transport; do \
+	@for pkg in ./internal/compress ./internal/transport ./internal/lint; do \
 		targets=$$($(GO) test -list '^Fuzz' $$pkg | grep '^Fuzz'); \
 		for t in $$targets; do \
 			echo "--- $$pkg $$t"; \
@@ -76,7 +89,7 @@ bench-compare:
 	$(GO) run ./cmd/adaedge-bench -exp bench -segments $(BENCHBASESEGMENTS) -json BENCH_head.json
 	$(GO) run ./cmd/adaedge-bench -compare $(BENCHBASELINE) BENCH_head.json
 
-ci: build vet lint race obs-smoke
+ci: build vet lint escape-gate race obs-smoke
 
 clean:
 	rm -rf $(BIN)

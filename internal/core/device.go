@@ -82,6 +82,8 @@ func (d *Device) syncTarget(bw sim.Bandwidth) {
 // virtual time. It returns the per-segment outcome; transmitted segments
 // carry the codec/ratio of the live path, stored segments report
 // Codec == "stored".
+//
+// adaedge:decision-goroutine
 func (d *Device) Ingest(values []float64, label int) (Result, error) {
 	if len(values) == 0 {
 		return Result{}, fmt.Errorf("core: empty segment")

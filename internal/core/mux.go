@@ -47,7 +47,10 @@ func (m *Mux) engineFor(signal string) (*OnlineEngine, error) {
 	return e, nil
 }
 
-// Process routes one segment of the named signal.
+// Process routes one segment of the named signal. The caller's goroutine
+// is the decision goroutine for every engine the mux owns.
+//
+// adaedge:decision-goroutine
 func (m *Mux) Process(signal string, values []float64, label int) (Result, error) {
 	e, err := m.engineFor(signal)
 	if err != nil {

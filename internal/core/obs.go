@@ -64,6 +64,8 @@ func newOnlineMetrics(o *obs.Observer) *onlineMetrics {
 }
 
 // trial records one codec trial's duration (decision goroutine only).
+//
+// adaedge:decision-goroutine
 func (m *onlineMetrics) trial(codec string, d time.Duration) {
 	if m == nil {
 		return
@@ -78,6 +80,8 @@ func (m *onlineMetrics) trial(codec string, d time.Duration) {
 
 // spec records whether a consumed trial was a speculation hit or had to
 // be recomputed inline. Called only on the prepared path.
+//
+// adaedge:decision-goroutine
 func (m *onlineMetrics) spec(hit bool) {
 	if m == nil {
 		return
@@ -90,6 +94,8 @@ func (m *onlineMetrics) spec(hit bool) {
 }
 
 // stalePrep counts prepared segments discarded because the target moved.
+//
+// adaedge:decision-goroutine
 func (m *onlineMetrics) stalePrep() {
 	if m == nil {
 		return
@@ -99,6 +105,8 @@ func (m *onlineMetrics) stalePrep() {
 
 // decision records the per-segment outcome: counters, gauges, and the
 // one decision-trace event per bandit pull cycle.
+//
+// adaedge:decision-goroutine
 func (m *onlineMetrics) decision(res Result, target, pressure float64) {
 	if m == nil {
 		return
@@ -121,6 +129,8 @@ func (m *onlineMetrics) decision(res Result, target, pressure float64) {
 }
 
 // violation counts a segment whose egress exceeded the link capacity.
+//
+// adaedge:decision-goroutine
 func (m *onlineMetrics) violation() {
 	if m == nil {
 		return
@@ -129,6 +139,8 @@ func (m *onlineMetrics) violation() {
 }
 
 // noFeasible records the hard failure: no codec can reach the target.
+//
+// adaedge:decision-goroutine
 func (m *onlineMetrics) noFeasible(id uint64, target, pressure float64) {
 	if m == nil {
 		return
@@ -182,6 +194,8 @@ func newOfflineMetrics(o *obs.Observer) *offlineMetrics {
 
 // ingest records one stored segment: the lossless codec chosen and the
 // achieved ratio, plus the post-store space state.
+//
+// adaedge:decision-goroutine
 func (m *offlineMetrics) ingest(id uint64, codec string, ratio, util float64, stored int) {
 	if m == nil {
 		return
@@ -200,6 +214,9 @@ func (m *offlineMetrics) ingest(id uint64, codec string, ratio, util float64, st
 // recoded records one completed recode (bandit-selected or fallback).
 // start is the recode's wall-clock begin; the elapsed time is read here,
 // after the nil check, so the disabled path adds no clock read.
+//
+// adaedge:decision-goroutine
+// adaedge:perf-timer
 func (m *offlineMetrics) recoded(id uint64, codec string, target, ratio, reward, util float64, virtual, fallback bool, start time.Time) {
 	if m == nil {
 		return
@@ -231,6 +248,8 @@ func (m *offlineMetrics) recoded(id uint64, codec string, target, ratio, reward,
 }
 
 // recodeSkip counts recodes deferred for lack of CPU budget.
+//
+// adaedge:decision-goroutine
 func (m *offlineMetrics) recodeSkip() {
 	if m == nil {
 		return

@@ -187,6 +187,8 @@ func (e *OfflineEngine) mutStats(fn func(*OfflineStats)) {
 // needed to stay inside the budget. It returns sim.ErrBudgetExceeded when
 // even maximal recoding (or a starved recoder, under RecodeBudget) cannot
 // make room — the hard failure the paper's Fig 14 baselines hit.
+//
+// adaedge:decision-goroutine
 func (e *OfflineEngine) Ingest(values []float64, label int) error {
 	if len(values) == 0 {
 		return compress.ErrEmptyInput
@@ -246,6 +248,8 @@ func (e *OfflineEngine) Ingest(values []float64, label int) error {
 }
 
 // makeRoom recodes until need bytes fit under capacity.
+//
+// adaedge:decision-goroutine
 func (e *OfflineEngine) makeRoom(need int64) error {
 	for e.storage.Used()+need > e.storage.Capacity() {
 		if !e.recodeOne() {
@@ -258,6 +262,8 @@ func (e *OfflineEngine) makeRoom(need int64) error {
 // recodeOne compresses the policy's victim more aggressively. It returns
 // false when no segment can be shrunk further or the recoder is out of
 // CPU budget.
+//
+// adaedge:decision-goroutine
 func (e *OfflineEngine) recodeOne() bool {
 	if e.cfg.RecodeBudget && e.recodeBudget <= 0 {
 		e.mutStats(func(s *OfflineStats) { s.RecodeSkips++ })
@@ -284,7 +290,11 @@ func (e *OfflineEngine) recodeOne() bool {
 
 // recodeEntry halves the victim's size, preferring the virtual
 // decompression path, and feeds the reward back to the ratio range's
-// bandit instance.
+// bandit instance. The wall-clock read only seeds recodeCost's fallback
+// timing, never a decision.
+//
+// adaedge:decision-goroutine
+// adaedge:perf-timer
 func (e *OfflineEngine) recodeEntry(victim *store.Entry) (bool, error) {
 	oldSize := victim.Enc.Size()
 	current := victim.Enc.Ratio()
@@ -520,6 +530,8 @@ func (e *OfflineEngine) speculateRecodeTrials(victim *store.Entry, allowed []boo
 
 // scoreRecode evaluates the recoded representation against the ground
 // truth and returns (bandit reward, accuracy loss).
+//
+// adaedge:decision-goroutine
 func (e *OfflineEngine) scoreRecode(victim *store.Entry, newEnc compress.Encoded) (reward, accLoss float64, err error) {
 	decoded, err := e.reg.DecompressInto(e.scoreDec[:0], newEnc)
 	if err != nil {
@@ -543,6 +555,9 @@ func (e *OfflineEngine) scoreRecode(victim *store.Entry, newEnc compress.Encoded
 // recodeCost returns the virtual CPU seconds one recode consumed: the
 // deterministic model when configured, wall time otherwise. Virtual
 // (same-codec) recodes skip the decode cost — the point of §IV-E.
+//
+// adaedge:decision-goroutine
+// adaedge:perf-timer
 func (e *OfflineEngine) recodeCost(start time.Time, oldCodec, newCodec string, points int, virtual bool) float64 {
 	// Energy is always charged on the deterministic model so the meter
 	// stays reproducible even when the recoder budget uses wall time.
@@ -564,6 +579,8 @@ func (e *OfflineEngine) recodeCost(start time.Time, oldCodec, newCodec string, p
 
 // finishRecode commits the new representation, storage accounting, CPU
 // budget accounting, and LRU repositioning.
+//
+// adaedge:decision-goroutine
 func (e *OfflineEngine) finishRecode(victim *store.Entry, newEnc compress.Encoded, oldSize int, accLoss float64, virtual bool, cost float64) {
 	_ = e.storage.Resize(int64(newEnc.Size() - oldSize)) // shrink never fails
 	victim.Enc = newEnc

@@ -247,6 +247,8 @@ const ratioSlack = 1e-9
 // Process compresses one segment (a fixed-size array of points, paper
 // §IV-C) and returns the outcome. The caller transmits Result-associated
 // bytes; the engine only accounts for them.
+//
+// adaedge:decision-goroutine
 func (e *OnlineEngine) Process(values []float64, label int) (Result, compress.Encoded, error) {
 	return e.process(values, nil)
 }
@@ -257,6 +259,8 @@ func (e *OnlineEngine) Process(values []float64, label int) (Result, compress.En
 // as Process would make them; cached trials only shortcut the pure codec
 // work, so the outcome is identical to Process on the same values. Trials
 // prepared under a stale target ratio are discarded and recomputed inline.
+//
+// adaedge:decision-goroutine
 func (e *OnlineEngine) ProcessPrepared(prep *PreparedSegment) (Result, compress.Encoded, error) {
 	if prep == nil {
 		return Result{}, compress.Encoded{}, compress.ErrEmptyInput
@@ -284,6 +288,8 @@ func (e *OnlineEngine) ProcessPrepared(prep *PreparedSegment) (Result, compress.
 }
 
 // process is the shared decision path. prep may be nil (fully inline).
+//
+// adaedge:decision-goroutine
 func (e *OnlineEngine) process(values []float64, prep *PreparedSegment) (Result, compress.Encoded, error) {
 	if len(values) == 0 {
 		return Result{}, compress.Encoded{}, compress.ErrEmptyInput
@@ -334,6 +340,8 @@ func (e *OnlineEngine) process(values []float64, prep *PreparedSegment) (Result,
 // segment. After repeated infeasibility the engine mostly skips the
 // attempt, re-probing periodically so it can recover if the data becomes
 // more compressible.
+//
+// adaedge:decision-goroutine
 func (e *OnlineEngine) tryLossless(target float64) bool {
 	if target >= 1 {
 		return true
@@ -353,6 +361,8 @@ func (e *OnlineEngine) tryLossless(target float64) bool {
 // Infeasibility is a property of the *best* lossless codec, not of one
 // exploratory pick, so on a miss the engine retries the remaining arms
 // before concluding the segment cannot be handled losslessly.
+//
+// adaedge:decision-goroutine
 func (e *OnlineEngine) processLossless(id uint64, values []float64, prep *PreparedSegment, target float64, trials *decisionTrials) (Result, compress.Encoded, bool) {
 	allowed := e.scr.boolMask(len(e.losslessNames), true)
 	for remaining := len(e.losslessNames); remaining > 0; remaining-- {
@@ -413,6 +423,9 @@ func (e *OnlineEngine) processLossless(id uint64, values []float64, prep *Prepar
 	return Result{}, compress.Encoded{}, false
 }
 
+// processLossy runs the lossy-selection phase toward the target ratio.
+//
+// adaedge:decision-goroutine
 func (e *OnlineEngine) processLossy(id uint64, values []float64, prep *PreparedSegment, target float64, trials *decisionTrials) (Result, compress.Encoded, error) {
 	allowed := e.scr.boolMask(len(e.lossyNames), false)
 	feasible := false
@@ -484,7 +497,9 @@ type losslessTrial struct {
 
 // runLosslessTrial compresses values with one codec into a pooled buffer.
 // Pure: no engine state is read or written, so it can run on any
-// goroutine.
+// goroutine. The timer feeds Result.Duration only, never a decision.
+//
+// adaedge:perf-timer
 func runLosslessTrial(codec compress.Codec, values []float64) losslessTrial {
 	eb := getEncBuf()
 	start := time.Now()
@@ -515,7 +530,10 @@ type lossyTrial struct {
 }
 
 // runLossyTrial compresses values toward ratio and decodes the result
-// into a pooled slice. Pure, like runLosslessTrial.
+// into a pooled slice. Pure, like runLosslessTrial; the timer feeds
+// Result.Duration only.
+//
+// adaedge:perf-timer
 func runLossyTrial(lc compress.LossyCodec, values []float64, ratio float64) lossyTrial {
 	start := time.Now()
 	enc, err := lc.CompressRatio(values, ratio)
@@ -533,6 +551,9 @@ func runLossyTrial(lc compress.LossyCodec, values []float64, ratio float64) loss
 	return lossyTrial{enc: enc, decoded: decoded, dur: dur, dec: db}
 }
 
+// account folds one decided segment into the stream statistics.
+//
+// adaedge:decision-goroutine
 func (e *OnlineEngine) account(res Result) {
 	e.statsMu.Lock()
 	defer e.statsMu.Unlock()

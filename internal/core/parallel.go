@@ -106,6 +106,8 @@ func (p *PreparedSegment) lossyTrialFor(arm int) (lossyTrial, bool) {
 // encoding has no pooled wrapper, and its decode is only read inside
 // process. Must run after process returns: the oracle's observe pass is
 // the last reader of prepared trials. Idempotent.
+//
+// adaedge:decision-goroutine
 func (p *PreparedSegment) releaseTrials(e *OnlineEngine, res Result, err error) {
 	if p == nil {
 		return
@@ -326,6 +328,8 @@ func (p *OnlineParallel) Start(ctx context.Context) {
 			}
 		}()
 	}
+	// The sequencer IS the decision goroutine while the pipeline runs.
+	// adaedge:decision-goroutine
 	go func() {
 		defer close(p.seqDone)
 		for job := range p.order {
@@ -395,7 +399,10 @@ func (p *OnlineParallel) Errors() []error {
 // the OnlineParallel pipeline otherwise. Results come back in input order;
 // failed segments hold a zero Result. The first error is returned after
 // the whole stream has been attempted, matching the pipeline's
-// keep-going semantics.
+// keep-going semantics. The caller's goroutine is the decision goroutine
+// in sequential mode; in parallel mode the sequencer takes over.
+//
+// adaedge:decision-goroutine
 func RunOnlineSegments(ctx context.Context, eng *OnlineEngine, segs []LabeledSegment) ([]Result, error) {
 	if eng.Workers() <= 1 {
 		results := make([]Result, 0, len(segs))

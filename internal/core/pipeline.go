@@ -53,6 +53,9 @@ func NewPipeline(cfg Config, workers int) (*Pipeline, error) {
 func (p *Pipeline) Start(ctx context.Context) {
 	for _, e := range p.engines {
 		p.wg.Add(1)
+		// Share-nothing workers: each owns an engine outright, so each
+		// worker is its engine's decision goroutine.
+		// adaedge:decision-goroutine
 		go func(eng *OnlineEngine) {
 			defer p.wg.Done()
 			for {

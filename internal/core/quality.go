@@ -71,12 +71,18 @@ func newDecisionTrials() *decisionTrials {
 	}
 }
 
+// noteLossless records a consumed lossless trial for the oracle.
+//
+// adaedge:decision-goroutine
 func (d *decisionTrials) noteLossless(arm int, t losslessTrial) {
 	if d != nil {
 		d.lossless[arm] = t
 	}
 }
 
+// noteLossy records a consumed lossy trial for the oracle.
+//
+// adaedge:decision-goroutine
 func (d *decisionTrials) noteLossy(arm int, t lossyTrial) {
 	if d != nil {
 		d.lossy[arm] = t
@@ -88,6 +94,8 @@ func (d *decisionTrials) noteLossy(arm int, t lossyTrial) {
 // sampled ones (trials non-nil). Decision goroutine only; the regret
 // event is emitted synchronously here, right after the decision event,
 // which keeps the trace sequence deterministic.
+//
+// adaedge:decision-goroutine
 func (o *qualityOracle) observe(e *OnlineEngine, res Result, values []float64, prep *PreparedSegment, trials *decisionTrials, target float64) {
 	if o == nil {
 		return
@@ -107,6 +115,8 @@ func (o *qualityOracle) observe(e *OnlineEngine, res Result, values []float64, p
 // candidate is feasible when its achieved ratio meets the target — the
 // same acceptance rule processLossless applies — and its reward is the
 // size reward the lossless phase optimizes.
+//
+// adaedge:decision-goroutine
 func (o *qualityOracle) observeLossless(e *OnlineEngine, res Result, values []float64, prep *PreparedSegment, cached *decisionTrials, target float64) {
 	n := len(e.losslessNames)
 	trials := make([]losslessTrial, n)
@@ -157,6 +167,8 @@ func (o *qualityOracle) observeLossless(e *OnlineEngine, res Result, values []fl
 // segment with the oracle's private evaluator. Feasibility uses the same
 // MinRatio gate processLossy applies (reusing the prepared probes when
 // present — MinRatio is pure, so recomputing yields identical values).
+//
+// adaedge:decision-goroutine
 func (o *qualityOracle) observeLossy(e *OnlineEngine, res Result, values []float64, prep *PreparedSegment, cached *decisionTrials, target float64) {
 	n := len(e.lossyNames)
 	minRatios := prep.minRatioProbes()

@@ -48,6 +48,9 @@ func (r *OfflineRunner) Collector() *Collector { return r.collector }
 func (r *OfflineRunner) Start(ctx context.Context) {
 	ctx, r.cancel = context.WithCancel(ctx)
 	r.done = make(chan struct{})
+	// The compression worker is the engine's decision goroutine; the
+	// caller only pushes raw points through the collector.
+	// adaedge:decision-goroutine
 	go func() {
 		defer close(r.done)
 		for {
@@ -72,6 +75,9 @@ func (r *OfflineRunner) Start(ctx context.Context) {
 	}()
 }
 
+// ingest drives one segment through the engine on the worker goroutine.
+//
+// adaedge:decision-goroutine
 func (r *OfflineRunner) ingest(seg *timeseries.Segment) {
 	err := r.engine.Ingest(seg.Values, seg.Label)
 	r.mu.Lock()

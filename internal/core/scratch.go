@@ -55,6 +55,8 @@ func getDecBuf() *decBuf { return decBufPool.Get().(*decBuf) }
 // release returns a rejected trial's encode buffer to the pool. Safe on
 // trials that never had a wrapper (error trials, fallback codecs) and on
 // already-released copies.
+//
+// adaedge:decision-goroutine
 func (t *losslessTrial) release() {
 	if t.buf == nil {
 		return
@@ -68,6 +70,8 @@ func (t *losslessTrial) release() {
 // handOff parks the wrapper of a trial whose encoding escapes to the
 // caller. The buffer itself leaves with the Encoded; only the empty
 // wrapper is kept, for RecycleEncoded.
+//
+// adaedge:decision-goroutine
 func (t *losslessTrial) handOff() {
 	if t.buf == nil {
 		return
@@ -80,6 +84,8 @@ func (t *losslessTrial) handOff() {
 // releaseDecoded returns a lossy trial's decode slice to the pool. The
 // encode buffer is not pooled: CompressRatio has no Into variant, so
 // there is no wrapper to return. Idempotent per trial copy.
+//
+// adaedge:decision-goroutine
 func (t *lossyTrial) releaseDecoded() {
 	if t.dec == nil {
 		return
@@ -115,6 +121,8 @@ type engineScratch struct {
 
 // boolMask returns a length-n mask with every entry set to fill, reusing
 // the scratch backing array.
+//
+// adaedge:decision-goroutine
 func (s *engineScratch) boolMask(n int, fill bool) []bool {
 	if cap(s.mask) < n {
 		s.mask = make([]bool, n)
@@ -128,11 +136,15 @@ func (s *engineScratch) boolMask(n int, fill bool) []bool {
 
 // parkDec defers a decode buffer's release to the end of the current
 // process call — after the oracle's observe pass, its last reader.
+//
+// adaedge:decision-goroutine
 func (s *engineScratch) parkDec(d *decBuf) {
 	s.pendingDec = d
 }
 
 // flushDec releases the parked decode buffer, if any.
+//
+// adaedge:decision-goroutine
 func (s *engineScratch) flushDec() {
 	if s.pendingDec != nil {
 		decBufPool.Put(s.pendingDec)

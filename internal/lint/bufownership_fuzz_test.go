@@ -1,0 +1,80 @@
+package lint_test
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"runtime"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+
+	"repro/internal/lint"
+)
+
+// FuzzBufOwnership feeds arbitrary Go source through the bufownership
+// analyzer: anything that parses and typechecks must analyze without a
+// panic or error. The seed corpus is the golden fixture (every diagnostic
+// shape the analyzer knows) plus minimal carrier/release skeletons, so
+// mutation explores the ownership-tracking paths rather than the parser.
+func FuzzBufOwnership(f *testing.F) {
+	fixture, err := os.ReadFile("testdata/bufpkg/bufpkg.go")
+	if err != nil {
+		f.Fatalf("reading fixture corpus: %v", err)
+	}
+	f.Add(string(fixture))
+	f.Add("package p\ntype encBuf struct{ b []byte }\ntype t struct{ enc *encBuf }\nfunc (x *t) release() {}\nfunc u(x *t) { x.release(); x.release() }\n")
+	f.Add("package p\ntype decBuf struct{ b []byte }\nfunc go1(d *decBuf) { go func() { _ = d }() }\n")
+	f.Add("package p\nfunc (c *C) Compress(dst []byte) []byte { c.keep = dst; return dst }\ntype C struct{ keep []byte }\n")
+
+	// Scope both rule families onto the fuzzed package itself.
+	for _, flag := range []string{"pool-pkgs", "into-pkgs"} {
+		if err := lint.BufOwnership.Flags.Set(flag, "fuzzpkg"); err != nil {
+			f.Fatalf("setting %s: %v", flag, err)
+		}
+	}
+
+	f.Fuzz(func(t *testing.T, src string) {
+		fset := token.NewFileSet()
+		file, err := parser.ParseFile(fset, "fuzz.go", src, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Skip()
+		}
+		info := &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Implicits:  map[ast.Node]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Scopes:     map[ast.Node]*types.Scope{},
+			Instances:  map[*ast.Ident]types.Instance{},
+		}
+		files := []*ast.File{file}
+		cfg := &types.Config{Importer: importer.Default()}
+		pkg, err := cfg.Check("fuzzpkg", fset, files, info)
+		if err != nil {
+			t.Skip()
+		}
+		pass := &analysis.Pass{
+			Analyzer:   lint.BufOwnership,
+			Fset:       fset,
+			Files:      files,
+			Pkg:        pkg,
+			TypesInfo:  info,
+			TypesSizes: types.SizesFor("gc", runtime.GOARCH),
+			ResultOf: map[*analysis.Analyzer]interface{}{
+				inspect.Analyzer: inspector.New(files),
+			},
+			Report:   func(analysis.Diagnostic) {},
+			ReadFile: os.ReadFile,
+		}
+		if _, err := lint.BufOwnership.Run(pass); err != nil {
+			t.Fatalf("bufownership errored on typechecked source: %v\n%s", err, src)
+		}
+	})
+}

@@ -6,6 +6,8 @@ import (
 	"os/exec"
 	"path/filepath"
 	"testing"
+
+	"repro/internal/lint"
 )
 
 // TestCleanTree builds the adaedge-lint vettool and runs it over the whole
@@ -34,6 +36,45 @@ func TestCleanTree(t *testing.T) {
 	vet.Stderr = &buf
 	if err := vet.Run(); err != nil {
 		t.Errorf("adaedge-lint reported findings on the clean tree: %v\n%s", err, buf.Bytes())
+	}
+
+	// The -run front-end must agree: exit 0 and a summary naming every
+	// analyzer in the suite with a zero count.
+	run := exec.Command(tool, "-run", "./...")
+	run.Dir = root
+	out, err := run.CombinedOutput()
+	if err != nil {
+		t.Errorf("adaedge-lint -run failed on the clean tree: %v\n%s", err, out)
+	}
+	if !bytes.Contains(out, []byte("0 finding(s)")) {
+		t.Errorf("adaedge-lint -run summary missing zero-findings line:\n%s", out)
+	}
+	for _, az := range lint.Analyzers {
+		if !bytes.Contains(out, []byte(az.Name)) {
+			t.Errorf("adaedge-lint -run summary missing analyzer %s:\n%s", az.Name, out)
+		}
+	}
+}
+
+// TestEscapeGateClean runs the full escape gate against the committed
+// ESCAPES.baseline, exactly as the CI escape-gate job does: the pinned
+// hot-path files must not have grown a heap escape. The -gcflags=-m build
+// replays from the build cache on warm runs.
+func TestEscapeGateClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiles the module with -gcflags=-m; skipped in -short mode")
+	}
+	root := moduleRoot(t)
+	tool := filepath.Join(t.TempDir(), "adaedge-lint")
+	build := exec.Command("go", "build", "-o", tool, "./cmd/adaedge-lint")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building vettool: %v\n%s", err, out)
+	}
+	gate := exec.Command(tool, "-escape")
+	gate.Dir = root
+	if out, err := gate.CombinedOutput(); err != nil {
+		t.Errorf("escape gate failed against committed baseline: %v\n%s", err, out)
 	}
 }
 

@@ -11,10 +11,22 @@
 //     touched while the named mutex is held.
 //   - seqdeterminism: RNG construction and bandit Select/Update decisions
 //     stay on the sequencer (internal/core) and the bandit package itself.
+//   - bufownership: the DESIGN.md §10 pooled-buffer rules — no double
+//     release, no use after release, no escape of a pooled wrapper into
+//     exported structs/channels/globals/goroutines, and no codec retaining
+//     a caller-supplied buffer.
+//   - goroutinediscipline: functions annotated adaedge:decision-goroutine
+//     are reached only from the decision goroutine's call graph.
+//   - nowallclock: no wall-clock reads or process-global rand in seeded
+//     packages outside adaedge:perf-timer sites.
 //
 // The suite compiles into cmd/adaedge-lint, a vettool run in CI via
 //
 //	go vet -vettool=$(pwd)/bin/adaedge-lint ./...
+//
+// or directly as `adaedge-lint -run ./...`, which adds per-analyzer
+// finding counts and bench-compare-style exit codes (0 clean, 1 findings,
+// 2 tool error).
 //
 // Every analyzer skips _test.go files: tests may legitimately seed RNGs,
 // reach into guarded state sequentially, and exercise panics.
@@ -34,6 +46,9 @@ var Analyzers = []*analysis.Analyzer{
 	NoPanicDecode,
 	LockDiscipline,
 	SeqDeterminism,
+	BufOwnership,
+	GoroutineDiscipline,
+	NoWallClock,
 }
 
 // pkgList is a comma-separated list of import-path prefixes usable as an

@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+	"golang.org/x/tools/go/analysis/passes/inspect"
+	"golang.org/x/tools/go/ast/inspector"
+)
+
+// NoWallClock forbids wall-clock reads and process-global randomness in
+// the seeded packages, replacing the grep-and-hope audit that used to
+// guard them. The determinism story (DESIGN.md §7, §9) rests on every
+// value in a seeded run being a pure function of the seed: decision
+// traces, spool schedules and bench quality fields are compared
+// byte-for-byte across runs and worker counts, so a stray time.Now or
+// global rand draw in core/bandit/compress/sim silently breaks the
+// reproducibility contract even when no test happens to cover it.
+//
+// The one sanctioned exception is performance measurement: trial and
+// recode timers feed Result.Duration and latency histograms — aggregates
+// that never influence a decision. Those sites carry an explicit
+//
+//	// adaedge:perf-timer
+//
+// marker in the function's doc comment; the analyzer allows clock calls
+// inside marked functions and flags everything else. A marker is a
+// reviewable artifact: adding one is a diff a human approves, which is
+// exactly the property the old grep audit lacked.
+//
+// Overlap is deliberate: codecpurity already bans clocks inside the codec
+// substrate and seqdeterminism bans global rand everywhere. NoWallClock
+// closes the remaining gap (core and sim) and gives all four seeded
+// packages one uniform rule with one uniform escape hatch.
+var NoWallClock = &analysis.Analyzer{
+	Name:     "nowallclock",
+	Doc:      "forbid wall-clock reads and global rand in seeded packages outside adaedge:perf-timer sites",
+	Requires: []*analysis.Analyzer{inspect.Analyzer},
+	Run:      runNoWallClock,
+}
+
+// seededPkgs are the packages whose behavior must be a pure function of
+// the seed. Override with -nowallclock.seeded-pkgs.
+var seededPkgs = pkgList{
+	"repro/internal/core",
+	"repro/internal/bandit",
+	"repro/internal/compress",
+	"repro/internal/sim",
+}
+
+func init() {
+	NoWallClock.Flags.Var(&seededPkgs, "seeded-pkgs",
+		"comma-separated import paths of packages that must stay wall-clock-free")
+}
+
+// perfTimerMarker is the doc-comment marker that sanctions clock reads in
+// one function (perf measurement only — durations must never steer a
+// decision).
+const perfTimerMarker = "adaedge:perf-timer"
+
+// funcHasMarker reports whether the innermost enclosing function
+// declaration's doc comment contains marker.
+func funcHasMarker(stack []ast.Node, marker string) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		if fd, ok := stack[i].(*ast.FuncDecl); ok {
+			return fd.Doc != nil && strings.Contains(fd.Doc.Text(), marker)
+		}
+	}
+	return false
+}
+
+func runNoWallClock(pass *analysis.Pass) (interface{}, error) {
+	if !seededPkgs.match(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	ins := pass.ResultOf[inspect.Analyzer].(*inspector.Inspector)
+
+	ins.WithStack([]ast.Node{(*ast.SelectorExpr)(nil)}, func(n ast.Node, push bool, stack []ast.Node) bool {
+		if !push || isTestFile(pass, n) {
+			return false
+		}
+		sel := n.(*ast.SelectorExpr)
+		id, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pn, ok := pass.TypesInfo.Uses[id].(*types.PkgName)
+		if !ok {
+			return true
+		}
+		path := pn.Imported().Path()
+		switch {
+		case path == "time" && clockFuncs[sel.Sel.Name]:
+			if funcHasMarker(stack, perfTimerMarker) {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "nowallclock: time.%s in seeded package %s outside an adaedge:perf-timer site; seeded runs must be pure functions of the seed — see DESIGN.md §7",
+				sel.Sel.Name, pass.Pkg.Path())
+		case isRandPkg(path):
+			// Package-level selectors on math/rand are the process-global
+			// generator: nondeterministically seeded, shared across the
+			// process. Constructors are seqdeterminism's concern; here any
+			// global draw is a determinism break, marker or not.
+			if fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok {
+				if sig, _ := fn.Type().(*types.Signature); sig != nil && sig.Recv() == nil && !randConstructors[fn.Name()] {
+					pass.Reportf(sel.Pos(), "nowallclock: process-global %s.%s in seeded package %s; plumb a seeded *rand.Rand instead — see DESIGN.md §7",
+						path, sel.Sel.Name, pass.Pkg.Path())
+				}
+			}
+		}
+		return true
+	})
+	return nil, nil
+}

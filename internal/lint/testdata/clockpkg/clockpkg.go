@@ -1,0 +1,43 @@
+// Package clockpkg is a nowallclock fixture: wall-clock reads and
+// process-global rand draws in a seeded package, with and without the
+// adaedge:perf-timer escape hatch.
+package clockpkg
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Decide reads the wall clock on the decision path: forbidden.
+func Decide() time.Duration {
+	start := time.Now()      // want `time\.Now in seeded package`
+	return time.Since(start) // want `time\.Since in seeded package`
+}
+
+// Timed is sanctioned perf measurement: the marker allows its clock reads.
+//
+// adaedge:perf-timer
+func Timed() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}
+
+// Draw uses the process-global generator: forbidden, everywhere.
+func Draw() int {
+	return rand.Intn(6) // want `process-global math/rand\.Intn`
+}
+
+// DrawTimed proves the perf-timer marker does not excuse rand: durations
+// may be impure, decisions may not.
+//
+// adaedge:perf-timer
+func DrawTimed() float64 {
+	return rand.Float64() // want `process-global math/rand\.Float64`
+}
+
+// Seeded draws from an explicitly seeded generator: legal.
+func Seeded(r *rand.Rand) int { return r.Intn(6) }
+
+// Construct builds a generator; construction placement is seqdeterminism's
+// concern, not nowallclock's.
+func Construct() *rand.Rand { return rand.New(rand.NewSource(1)) }

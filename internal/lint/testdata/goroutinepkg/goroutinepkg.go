@@ -1,0 +1,80 @@
+// Package goroutinepkg is a goroutinediscipline fixture: a miniature of
+// the decision-goroutine call graph with annotated functions, an annotated
+// interface method, sanctioned and unsanctioned goroutine launches, and a
+// function-value escape.
+package goroutinepkg
+
+// engine mirrors the decision surface: decide mutates decision state.
+type engine struct{ n int }
+
+// decide mutates bandit-like state.
+//
+// adaedge:decision-goroutine
+func (e *engine) decide() { e.n++ }
+
+// emit publishes a decision event.
+//
+// adaedge:decision-goroutine
+func emit() {}
+
+// policy mirrors bandit.Policy: Select is decision-only, Estimates is a
+// thread-safe snapshot.
+type policy interface {
+	// adaedge:decision-goroutine
+	Select() int
+	Estimates() []float64
+}
+
+// step is annotated, so the whole chain below it is legal.
+//
+// adaedge:decision-goroutine
+func step(e *engine, p policy) {
+	e.decide()
+	emit()
+	_ = p.Select()
+}
+
+// rogue is not annotated: every decision call from it is off-graph.
+func rogue(e *engine, p policy) {
+	e.decide()        // want `call to decision-goroutine function decide from rogue`
+	_ = p.Select()    // want `call to decision-goroutine function Select from rogue`
+	_ = p.Estimates() // snapshot accessor: legal from anywhere
+}
+
+// launch starts THE decision goroutine: the marked go statement sanctions
+// the closure's decision calls.
+func launch(e *engine) {
+	// adaedge:decision-goroutine
+	go func() {
+		e.decide()
+		emit()
+	}()
+}
+
+// offThread shows that annotation does not flow into an unmarked launch: a
+// second goroutine emitting events breaks the single-goroutine contract
+// even when its parent is on-graph.
+//
+// adaedge:decision-goroutine
+func offThread(e *engine) {
+	go func() {
+		emit() // want `go-launched goroutine without the adaedge:decision-goroutine launch marker`
+	}()
+}
+
+// handle escapes a decision function as a value: indirect call sites
+// cannot be checked, so the escape itself is the violation.
+func handle() func() {
+	return emit // want `decision-goroutine function emit used as a value`
+}
+
+// nested shows closures inheriting their lexical context: an inline (not
+// go-launched) closure inside an annotated function stays on-graph, as
+// does a deferred call.
+//
+// adaedge:decision-goroutine
+func nested(e *engine) {
+	f := func() { e.decide() }
+	f()
+	defer emit()
+}
