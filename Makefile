@@ -8,7 +8,7 @@ VETTOOL := $(BIN)/adaedge-lint
 # Per-target fuzz time for the smoke pass (CI uses the same value).
 FUZZTIME ?= 20s
 
-.PHONY: all build vet lint escape-gate escape-gate-update test race fuzz-smoke obs-smoke bench-json bench-compare ci clean
+.PHONY: all build vet lint escape-gate escape-gate-update test race fuzz-smoke obs-smoke fleet-smoke bench-json bench-compare ci clean
 
 all: build
 
@@ -65,6 +65,12 @@ fuzz-smoke:
 obs-smoke:
 	./scripts/obs_smoke.sh
 
+# fleet-smoke drives a small simulated fleet (v2 sessions, staggered
+# outages, thundering-herd redial) end to end against one sharded
+# collector; the run fails unless delivery is exactly-once.
+fleet-smoke:
+	./scripts/fleet_smoke.sh
+
 # bench-json runs the continuous benchmark matrix and writes the next free
 # BENCH_<n>.json in the repo root, then re-validates it against the schema.
 # BENCHSEGMENTS scales the workload (CI uses a short scale).
@@ -89,7 +95,7 @@ bench-compare:
 	$(GO) run ./cmd/adaedge-bench -exp bench -segments $(BENCHBASESEGMENTS) -json BENCH_head.json
 	$(GO) run ./cmd/adaedge-bench -compare $(BENCHBASELINE) BENCH_head.json
 
-ci: build vet lint escape-gate race obs-smoke
+ci: build vet lint escape-gate race obs-smoke fleet-smoke
 
 clean:
 	rm -rf $(BIN)

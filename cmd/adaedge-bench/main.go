@@ -21,8 +21,9 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: fig2,fig3,fig5,fig6,fig7,fig8,fig9,fig10,fig11,fig12,fig13,fig14,fig15,scale,parallel,headline,bench,all")
-	segments := flag.Int("segments", 0, "stream length in segments (0 = experiment default)")
+	exp := flag.String("exp", "all", "experiment to run: fig2,fig3,fig5,fig6,fig7,fig8,fig9,fig10,fig11,fig12,fig13,fig14,fig15,scale,parallel,headline,bench,fleet,all")
+	segments := flag.Int("segments", 0, "stream length in segments; for -exp fleet, segments per device (0 = experiment default)")
+	devices := flag.Int("devices", 0, "fleet experiment: number of simulated devices (0 = default 200)")
 	budget := flag.Int64("budget", 0, "offline storage budget in bytes (0 = default)")
 	workers := flag.Int("workers", 0, "parallel experiment: measure only this worker count (0 = the 1,2,4,8 ladder)")
 	model := flag.String("model", "", "fig7 model kind: dtree|rforest|knn|kmeans (default: all four)")
@@ -167,6 +168,12 @@ func main() {
 			experiments.ParallelScalability(w, counts, *segments)
 		case "headline":
 			experiments.HeadlineClaims(w, *segments)
+		case "fleet":
+			_, err := experiments.RunFleet(w, experiments.FleetConfig{
+				Devices:           *devices,
+				SegmentsPerDevice: *segments,
+			})
+			emit(err)
 		case "bench":
 			cfg := experiments.BenchConfig{Segments: *segments}
 			if *workers > 0 {

@@ -37,6 +37,15 @@ type CompareOptions struct {
 	AllocSlack float64
 }
 
+// fleetPerfThreshold is the allowed fractional drop in the fleet cell's
+// devices_x_segments_per_sec. It is intentionally much wider than
+// PerfThreshold: the fleet number crosses the kernel's loopback stack and
+// hundreds of goroutines, so its run-to-run noise dwarfs the in-process
+// cells'. It still catches the failure mode it exists for — a collector
+// change that serializes the fleet or re-introduces per-frame lockstep
+// shows up as an integer-factor collapse, not a 40% wobble.
+const fleetPerfThreshold = 0.40
+
 func (o CompareOptions) withDefaults() CompareOptions {
 	if o.PerfThreshold == 0 {
 		o.PerfThreshold = 0.10
@@ -202,7 +211,55 @@ func (r *CompareReport) compareCase(oc, nc BenchCase) {
 			fmt.Sprintf("%s: final_regret %v -> %v", id, *oq.FinalRegret, *nq.FinalRegret))
 	}
 
+	// Fleet block: the deterministic fields (fleet shape and the
+	// exactly-once delivered total) compare exactly like quality; the
+	// aggregate delivery rate gets its own threshold. Session counters
+	// (duplicates, kicks, evictions) depend on scheduling and are
+	// informational only.
+	switch {
+	case (oc.Fleet == nil) != (nc.Fleet == nil):
+		r.QualityDiffs = append(r.QualityDiffs,
+			fmt.Sprintf("%s: fleet block presence changed", id))
+	case oc.Fleet != nil:
+		of, nf := oc.Fleet, nc.Fleet
+		fleetExact := []struct {
+			field    string
+			old, new int
+		}{
+			{"devices", of.Devices, nf.Devices},
+			{"segments_per_device", of.SegmentsPerDevice, nf.SegmentsPerDevice},
+			{"delivered", of.Delivered, nf.Delivered},
+		}
+		for _, f := range fleetExact {
+			if f.old != f.new {
+				r.QualityDiffs = append(r.QualityDiffs,
+					fmt.Sprintf("%s: fleet %s %d -> %d", id, f.field, f.old, f.new))
+			}
+		}
+		if of.DevicesXSegmentsPerSec > 0 {
+			rel := (nf.DevicesXSegmentsPerSec - of.DevicesXSegmentsPerSec) / of.DevicesXSegmentsPerSec
+			switch {
+			case rel < -fleetPerfThreshold:
+				r.PerfRegressions = append(r.PerfRegressions,
+					fmt.Sprintf("%s: devices_x_segments_per_sec %.0f -> %.0f (%+.1f%%, limit -%.1f%%)",
+						id, of.DevicesXSegmentsPerSec, nf.DevicesXSegmentsPerSec, rel*100, fleetPerfThreshold*100))
+			case rel > fleetPerfThreshold:
+				r.Notes = append(r.Notes,
+					fmt.Sprintf("%s: devices_x_segments_per_sec improved %.0f -> %.0f (%+.1f%%)",
+						id, of.DevicesXSegmentsPerSec, nf.DevicesXSegmentsPerSec, rel*100))
+			}
+		}
+	}
+
 	op, np := oc.Perf, nc.Perf
+	// Fleet cases skip the tight single-process gates: their wall clock
+	// crosses loopback TCP, goroutine scheduling and injected redial
+	// backoffs, so ns_per_segment jitters far past the 10% threshold and
+	// Mallocs counts whole sessions. The fleet gate above, with its wider
+	// threshold, is their perf axis.
+	if nc.Mode == "fleet" {
+		return
+	}
 	if op.NsPerSegment > 0 {
 		rel := (np.NsPerSegment - op.NsPerSegment) / op.NsPerSegment
 		switch {

@@ -80,8 +80,8 @@ func validateCase(c map[string]any) error {
 	if err != nil {
 		return err
 	}
-	if mode != "online" && mode != "offline" {
-		return fmt.Errorf("mode = %q, want online or offline", mode)
+	if mode != "online" && mode != "offline" && mode != "fleet" {
+		return fmt.Errorf("mode = %q, want online, offline or fleet", mode)
 	}
 	if _, err := wantString(c, "name"); err != nil {
 		return err
@@ -125,6 +125,40 @@ func validateCase(c map[string]any) error {
 		v, ok := raw.(float64)
 		if !ok || math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
 			return fmt.Errorf("quality: final_regret = %v, want finite number >= 0", raw)
+		}
+	}
+
+	// The fleet block is required for fleet cases and forbidden elsewhere:
+	// a fleet case without its outcome fields (or a stray fleet block on
+	// an engine case) would silently fall out of the -compare gate.
+	if _, hasFleet := c["fleet"]; hasFleet != (mode == "fleet") {
+		if hasFleet {
+			return fmt.Errorf("fleet block present but mode = %q", mode)
+		}
+		return fmt.Errorf("mode = fleet without a fleet block")
+	}
+	if mode == "fleet" {
+		f, err := wantObject(c, "fleet")
+		if err != nil {
+			return err
+		}
+		for _, key := range []string{
+			"devices", "segments_per_device", "delivered", "duplicates",
+			"sessions_kicked", "evictions", "devices_x_segments_per_sec",
+			"idle_bytes_per_device",
+		} {
+			v, err := wantNumber(f, key)
+			if err != nil {
+				return fmt.Errorf("fleet: %w", err)
+			}
+			if v < 0 {
+				return fmt.Errorf("fleet: %s = %v, want >= 0", key, v)
+			}
+		}
+		for _, key := range []string{"devices", "segments_per_device"} {
+			if v, _ := wantNumber(f, key); v < 1 {
+				return fmt.Errorf("fleet: %s = %v, want >= 1", key, v)
+			}
 		}
 	}
 

@@ -11,6 +11,11 @@ import "math"
 type Link struct {
 	phases []LinkPhase
 	cycle  float64
+	// offset shifts the schedule in virtual time (see Shifted): the link
+	// behaves as if it started offset seconds into its cycle. Fleet
+	// simulations shift one shared schedule per device so outages
+	// stagger instead of synchronizing.
+	offset float64
 	// lastBW is the capacity of the last positive-duration phase: the
 	// only correct fallback when float rounding lands the cycle remainder
 	// at or past the cycle end. The raw last schedule entry may be a
@@ -40,10 +45,26 @@ func NewLink(phases ...LinkPhase) *Link {
 	return l
 }
 
+// Shifted returns a copy of the link whose schedule is advanced by
+// offset virtual seconds: Shifted(o).At(t) == l.At(t+o). Negative
+// offsets are folded into the cycle, so any stagger value is valid.
+func (l *Link) Shifted(offset float64) *Link {
+	s := *l
+	if l.cycle > 0 {
+		offset = math.Mod(offset, l.cycle)
+		if offset < 0 {
+			offset += l.cycle
+		}
+	}
+	s.offset = l.offset + offset
+	return &s
+}
+
 // rem maps t onto the cycle, clamped into [0, cycle). math.Mod is exact,
 // but the clamp keeps any pathological rounding from producing a
 // remainder the phase walk cannot place.
 func (l *Link) rem(t float64) float64 {
+	t += l.offset
 	if t < 0 {
 		t = 0
 	}

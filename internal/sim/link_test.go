@@ -260,3 +260,31 @@ func TestLinkUpFor(t *testing.T) {
 		t.Fatalf("always-up link UpFor = %v, want +Inf", got)
 	}
 }
+
+func TestLinkShifted(t *testing.T) {
+	l := NewLink(
+		LinkPhase{Seconds: 10, Bandwidth: Net4G},
+		LinkPhase{Seconds: 5, Bandwidth: 0},
+	)
+	for _, off := range []float64{0, 3, 10, 14.5, 15, 27, -5} {
+		s := l.Shifted(off)
+		// Negative offsets fold into the cycle, so compare a cycle ahead
+		// to keep the reference time non-negative.
+		ref := off
+		for ref < 0 {
+			ref += l.CycleSeconds()
+		}
+		for _, at := range []float64{0, 2, 9.5, 10, 12, 14.9, 20, 31} {
+			if got, want := s.At(at), l.At(at+ref); got != want {
+				t.Fatalf("Shifted(%v).At(%v) = %v, want %v", off, at, got, want)
+			}
+			if got, want := s.UpFor(at), l.UpFor(at+ref); math.Abs(got-want) > 1e-9 && !(math.IsInf(got, 1) && math.IsInf(want, 1)) {
+				t.Fatalf("Shifted(%v).UpFor(%v) = %v, want %v", off, at, got, want)
+			}
+		}
+	}
+	// Shifting a shifted link composes.
+	if got, want := l.Shifted(3).Shifted(4).At(0), l.At(7); got != want {
+		t.Fatalf("composed shift At(0) = %v, want %v", got, want)
+	}
+}

@@ -2,6 +2,7 @@ package store
 
 import (
 	"errors"
+	"sort"
 	"sync"
 )
 
@@ -111,6 +112,21 @@ func (s *Spool) Head() (*Entry, bool) {
 		return nil, false
 	}
 	return s.entries[0], true
+}
+
+// HeadAfter returns the oldest unacknowledged entry with ID > id, without
+// removing it. The pipelined uplink uses it as its send cursor: after
+// transmitting entry id it asks for the next pending entry strictly past
+// it, so in-flight-but-unacked entries are not retransmitted until a
+// session break resets the cursor back to Head.
+func (s *Spool) HeadAfter(id uint64) (*Entry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	i := sort.Search(len(s.entries), func(i int) bool { return s.entries[i].ID > id })
+	if i == len(s.entries) {
+		return nil, false
+	}
+	return s.entries[i], true
 }
 
 // AckBelow drops every entry with ID < next (the collector's cumulative

@@ -24,6 +24,14 @@ func FuzzFrameReader(f *testing.F) {
 	_ = w.Send(Frame{ID: 2, Label: -1, Enc: enc})
 	_ = w.Flush()
 	f.Add(buf.Bytes())
+	// The watermark-overflow poison frame: ID MaxUint64 parses fine at
+	// this layer (the collector rejects it) and must never panic or wrap
+	// anything in the reader.
+	var poison bytes.Buffer
+	pw := NewWriter(&poison)
+	_ = pw.Send(Frame{ID: 1<<64 - 1, Label: 0, Enc: enc})
+	_ = pw.Flush()
+	f.Add(poison.Bytes())
 	f.Add([]byte("AES1"))
 	f.Add([]byte{})
 

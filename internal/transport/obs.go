@@ -129,6 +129,11 @@ type collectorMetrics struct {
 	frames     *obs.Counter
 	duplicates *obs.Counter
 	badConns   *obs.Counter
+	kicked     *obs.Counter
+	evictions  *obs.Counter
+
+	ackBatchH   *obs.Histogram
+	shardDepthH *obs.Histogram
 }
 
 func newCollectorMetrics(o *obs.Observer) *collectorMetrics {
@@ -137,10 +142,14 @@ func newCollectorMetrics(o *obs.Observer) *collectorMetrics {
 	}
 	reg := o.Registry()
 	return &collectorMetrics{
-		sink:       o.Sink(),
-		frames:     reg.Counter("transport.collector.frames"),
-		duplicates: reg.Counter("transport.collector.duplicates"),
-		badConns:   reg.Counter("transport.collector.bad_conns"),
+		sink:        o.Sink(),
+		frames:      reg.Counter("transport.collector.frames"),
+		duplicates:  reg.Counter("transport.collector.duplicates"),
+		badConns:    reg.Counter("transport.collector.bad_conns"),
+		kicked:      reg.Counter("transport.collector.sessions_kicked"),
+		evictions:   reg.Counter("transport.collector.evictions"),
+		ackBatchH:   reg.Histogram("transport.collector.ack_batch", obs.DepthBuckets),
+		shardDepthH: reg.Histogram("transport.collector.shard_depth", obs.DepthBuckets),
 	}
 }
 
@@ -180,4 +189,39 @@ func (m *collectorMetrics) badConn() {
 		return
 	}
 	m.badConns.Inc()
+}
+
+// sessionKicked records a stale same-device session displaced by a newer
+// connection (single-writer takeover).
+func (m *collectorMetrics) sessionKicked() {
+	if m == nil {
+		return
+	}
+	m.kicked.Inc()
+}
+
+// eviction records one idle device evicted down to the watermark table.
+func (m *collectorMetrics) eviction() {
+	if m == nil {
+		return
+	}
+	m.evictions.Inc()
+}
+
+// ackBatch records how many frames one cumulative ACK covered (always 1
+// on the v1 lockstep path).
+func (m *collectorMetrics) ackBatch(n uint64) {
+	if m == nil {
+		return
+	}
+	m.ackBatchH.Observe(float64(n))
+}
+
+// shardDepth records a shard's resident-device count after an attach or
+// an eviction.
+func (m *collectorMetrics) shardDepth(n int) {
+	if m == nil {
+		return
+	}
+	m.shardDepthH.Observe(float64(n))
 }

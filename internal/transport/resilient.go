@@ -5,6 +5,7 @@ import (
 	"errors"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obs"
@@ -21,11 +22,20 @@ import (
 // frame. The wire is therefore at-least-once; the collector's per-device
 // watermark turns it into exactly-once at the sink.
 //
-// The frame→ACK lockstep trades pipelining for a property the chaos
-// tests depend on: the entire network interaction is a deterministic
-// function of the spooled traffic and the fault schedule, so two runs
-// with the same seed produce the same retry/ACK trace. Pipelined ACKs
-// are a throughput optimization this design deliberately defers.
+// The uplink speaks one of two session protocols (ResilientConfig.
+// Protocol):
+//
+//   - Version 1 (default) is the frame→ACK lockstep. It trades
+//     pipelining for a property the chaos tests depend on: the entire
+//     network interaction is a deterministic function of the spooled
+//     traffic and the fault schedule, so two runs with the same seed
+//     produce the same retry/ACK trace.
+//   - Version 2 pipelines: the pump streams spooled frames without
+//     waiting, and a per-session ACK-reader goroutine applies the
+//     collector's coalesced cumulative ACKs as they arrive. Throughput
+//     no longer pays a round trip per frame, but the interleaving of
+//     send and ack events is scheduler-dependent, so seeded chaos
+//     comparisons stay on version 1.
 type ResilientUplink struct {
 	cfg   ResilientConfig
 	spool *store.Spool
@@ -35,11 +45,19 @@ type ResilientUplink struct {
 	wg    sync.WaitGroup
 	// om caches the obs handles; nil when ResilientConfig.Obs is unset.
 	om *uplinkMetrics
+	// evMu serializes the delivery trace: in pipelined mode events come
+	// from both the pump and the session's ACK reader, and OnEvent
+	// consumers are promised sequential calls.
+	evMu sync.Mutex
 
 	mu     sync.Mutex
 	conn   net.Conn // current connection, nil between dials; guarded by mu
 	closed bool     // guarded by mu
 	stats  UplinkStats
+	// drainWait, when non-nil, is closed as soon as the spool is
+	// observed empty after an ACK advance; guarded by mu. WaitDrain
+	// blocks on it instead of polling.
+	drainWait chan struct{}
 	// br and w frame the current conn; replaced on redial. Only the pump
 	// touches them, but they are replaced under mu alongside conn.
 	br *bufio.Reader
@@ -54,6 +72,13 @@ type ResilientConfig struct {
 	// DeviceID identifies this device to the collector's dedup watermark.
 	// Devices sharing a collector must use distinct IDs.
 	DeviceID uint64
+	// Protocol selects the session protocol: 0 or 1 is the version-1
+	// lockstep (deterministic, one ACK per frame), 2 is the pipelined
+	// version-2 session with coalesced ACKs.
+	Protocol int
+	// AckEvery is the ACK coalescing factor requested in the version-2
+	// hello (0 asks for the collector's default). Ignored for version 1.
+	AckEvery int
 	// DialTimeout bounds each dial attempt (default DefaultDialTimeout).
 	DialTimeout time.Duration
 	// WriteTimeout bounds each frame write (default 10s).
@@ -138,6 +163,9 @@ func (c ResilientConfig) withDefaults() ResilientConfig {
 			c.BackoffMax = c.BackoffBase
 		}
 	}
+	if c.AckEvery < 0 {
+		c.AckEvery = 0
+	}
 	if c.Dialer == nil {
 		c.Dialer = func(addr string, timeout time.Duration) (net.Conn, error) {
 			return net.DialTimeout("tcp", addr, timeout)
@@ -215,16 +243,45 @@ func (u *ResilientUplink) Stats() UplinkStats {
 }
 
 // WaitDrain blocks until every spooled frame is acknowledged or the
-// timeout expires.
+// timeout expires. It parks on a drain-notification channel signalled
+// from the ACK path (no polling).
 func (u *ResilientUplink) WaitDrain(timeout time.Duration) error {
-	deadline := time.Now().Add(timeout)
-	for u.spool.Len() > 0 {
-		if time.Now().After(deadline) {
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	for {
+		u.mu.Lock()
+		if u.spool.Len() == 0 {
+			u.mu.Unlock()
+			return nil
+		}
+		if u.drainWait == nil {
+			u.drainWait = make(chan struct{})
+		}
+		ch := u.drainWait
+		u.mu.Unlock()
+		select {
+		case <-ch:
+			// Woken by an ACK advance; re-check — a concurrent Send may
+			// have refilled the spool.
+		case <-t.C:
 			return errors.New("transport: drain timeout")
 		}
-		time.Sleep(time.Millisecond)
 	}
-	return nil
+}
+
+// notifyDrain wakes WaitDrain callers when an ACK advance empties the
+// spool. Spurious wakeups are fine (WaitDrain re-checks); missed empties
+// are not, so it runs after every AckBelow.
+func (u *ResilientUplink) notifyDrain() {
+	if u.spool.Len() > 0 {
+		return
+	}
+	u.mu.Lock()
+	if u.drainWait != nil {
+		close(u.drainWait)
+		u.drainWait = nil
+	}
+	u.mu.Unlock()
 }
 
 // Close stops the pump and closes the connection. Frames still spooled
@@ -247,6 +304,8 @@ func (u *ResilientUplink) Close() error {
 }
 
 func (u *ResilientUplink) event(e Event) {
+	u.evMu.Lock()
+	defer u.evMu.Unlock()
 	if u.cfg.OnEvent != nil {
 		u.cfg.OnEvent(e)
 	}
@@ -266,10 +325,12 @@ func (u *ResilientUplink) sleep(d time.Duration) bool {
 	}
 }
 
-// run is the pump: it owns every network operation.
+// run is the pump: it owns every network write (in pipelined mode a
+// per-session ACK-reader goroutine owns the reads).
 func (u *ResilientUplink) run() {
 	defer u.wg.Done()
 	defer u.dropConn()
+	pipelined := u.cfg.Protocol >= 2
 	for {
 		head, ok := u.spool.Head()
 		if !ok {
@@ -294,7 +355,13 @@ func (u *ResilientUplink) run() {
 				continue
 			}
 		}
-		if err := u.sendOne(head); err != nil {
+		var err error
+		if pipelined {
+			err = u.sessionPipelined()
+		} else {
+			err = u.sendOne(head)
+		}
+		if err != nil {
 			u.dropConn()
 			wait := u.boff.next()
 			u.event(Event{Kind: "backoff", Wait: wait})
@@ -332,7 +399,11 @@ func (u *ResilientUplink) connect() bool {
 	conn, err := u.cfg.Dialer(u.cfg.Addr, u.cfg.DialTimeout)
 	if err == nil {
 		_ = conn.SetWriteDeadline(time.Now().Add(u.cfg.WriteTimeout))
-		err = writeHello(conn, u.cfg.DeviceID)
+		if u.cfg.Protocol >= 2 {
+			err = writeHelloV2(conn, u.cfg.DeviceID, uint64(u.cfg.AckEvery))
+		} else {
+			err = writeHello(conn, u.cfg.DeviceID)
+		}
 		if err != nil {
 			_ = conn.Close()
 		}
@@ -399,12 +470,135 @@ func (u *ResilientUplink) sendOne(e *store.Entry) error {
 	}
 	u.om.rttDone(rttFrom)
 	u.spool.AckBelow(next)
+	u.notifyDrain()
 	if u.om != nil {
 		u.om.spoolDepth(u.spool.Len())
 	}
 	u.event(Event{Kind: "ack", ID: next})
 	u.boff.reset()
 	return nil
+}
+
+// sessionPipelined runs one version-2 session: the pump streams spooled
+// frames past a send cursor without waiting for ACKs, while ackLoop (a
+// per-session goroutine) applies the collector's coalesced cumulative
+// ACKs. Either side's error tears the session down; the pump then backs
+// off, redials, and resends from the first unacknowledged frame. It
+// returns nil only when the uplink is closing.
+func (u *ResilientUplink) sessionPipelined() error {
+	u.mu.Lock()
+	conn, br, w := u.conn, u.br, u.w
+	u.mu.Unlock()
+	if conn == nil {
+		return net.ErrClosed
+	}
+	ackErr := make(chan error, 1)
+	sent := make(chan struct{}, 1)
+	stop := make(chan struct{})
+	var acked atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		u.ackLoop(conn, br, sent, stop, ackErr, &acked)
+	}()
+	teardown := func(err error) error {
+		close(stop)
+		u.dropConn() // unblocks the reader's readAck
+		wg.Wait()
+		if acked.Load() {
+			// The session made progress; the next failure is a fresh
+			// incident, not a continuation of this one.
+			u.boff.reset()
+		}
+		return err
+	}
+
+	var cursor uint64
+	var sentAny bool
+	for {
+		var e *store.Entry
+		var ok bool
+		if sentAny {
+			e, ok = u.spool.HeadAfter(cursor)
+		} else {
+			e, ok = u.spool.Head()
+		}
+		if !ok {
+			// Everything spooled is in flight (or the spool is empty):
+			// park until new work, an ACK-side verdict, or Close.
+			select {
+			case <-u.work:
+				continue
+			case err := <-ackErr:
+				return teardown(err)
+			case <-u.done:
+				return teardown(nil)
+			}
+		}
+		select {
+		case err := <-ackErr:
+			return teardown(err)
+		case <-u.done:
+			return teardown(nil)
+		default:
+		}
+		_ = conn.SetWriteDeadline(time.Now().Add(u.cfg.WriteTimeout))
+		err := w.Send(Frame{ID: e.ID, Label: e.Label, Enc: e.Enc})
+		if err == nil {
+			err = w.Flush()
+		}
+		if err != nil {
+			u.mu.Lock()
+			u.stats.SendFailures++
+			u.mu.Unlock()
+			u.event(Event{Kind: "send-fail", ID: e.ID, Err: err.Error()})
+			return teardown(err)
+		}
+		u.mu.Lock()
+		u.stats.FramesSent++
+		u.mu.Unlock()
+		u.event(Event{Kind: "send", ID: e.ID})
+		cursor, sentAny = e.ID, true
+		select {
+		case sent <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// ackLoop is the version-2 session's read half: it applies cumulative
+// ACKs while frames are outstanding and parks while the spool is empty
+// (an idle session expects no ACKs, so no read deadline may fire). The
+// first error is posted to ackErr and ends the loop.
+func (u *ResilientUplink) ackLoop(conn net.Conn, br *bufio.Reader, sent, stop <-chan struct{}, ackErr chan<- error, acked *atomic.Bool) {
+	for {
+		if u.spool.Len() == 0 {
+			select {
+			case <-sent:
+				continue // frames in flight again; resume reading
+			case <-stop:
+				return
+			}
+		}
+		_ = conn.SetReadDeadline(time.Now().Add(u.cfg.AckTimeout))
+		next, err := readAck(br)
+		if err != nil {
+			u.mu.Lock()
+			u.stats.SendFailures++
+			u.mu.Unlock()
+			u.event(Event{Kind: "ack-fail", Err: err.Error()})
+			ackErr <- err
+			return
+		}
+		acked.Store(true)
+		u.spool.AckBelow(next)
+		u.notifyDrain()
+		if u.om != nil {
+			u.om.spoolDepth(u.spool.Len())
+		}
+		u.event(Event{Kind: "ack", ID: next})
+	}
 }
 
 // backoff computes exponential redial delays with deterministic jitter.

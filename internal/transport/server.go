@@ -4,12 +4,15 @@ import (
 	"bufio"
 	"errors"
 	"io"
+	"math"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/compress"
 	"repro/internal/obs"
+	"repro/internal/store"
 )
 
 // Collector state errors.
@@ -26,59 +29,188 @@ var (
 // pin a handler goroutine.
 const ackWriteTimeout = 10 * time.Second
 
+// Collector defaults; see CollectorConfig.
+const (
+	// DefaultCollectorShards is the device-map shard count when
+	// CollectorConfig.Shards is 0.
+	DefaultCollectorShards = 16
+	// DefaultAckEvery is the v2 ACK coalescing factor when neither the
+	// device hello nor CollectorConfig requests one.
+	DefaultAckEvery = 16
+	// maxAckEvery caps the negotiated coalescing factor so a hostile
+	// hello cannot make the collector withhold ACKs indefinitely.
+	maxAckEvery = 1024
+)
+
+// CollectorConfig parameterizes NewCollectorWith. The zero value selects
+// the defaults NewCollector uses.
+type CollectorConfig struct {
+	// Shards is the device-map shard count (rounded up to a power of
+	// two; default DefaultCollectorShards). Devices hash to shards by
+	// ID, so unrelated devices never contend on one mutex.
+	Shards int
+	// AckEvery is the default v2 ACK coalescing factor for devices whose
+	// hello does not request one (default DefaultAckEvery). Version-1
+	// sessions always get lockstep per-frame ACKs regardless.
+	AckEvery int
+	// MaxIdleDevices bounds resident per-device session state for
+	// devices with no live connection. When the bound is exceeded,
+	// idle devices are evicted down to a watermark entry in Watermarks.
+	// 0 disables eviction (every device stays resident forever).
+	MaxIdleDevices int
+	// Watermarks seeds and receives evicted delivery watermarks. When
+	// nil and MaxIdleDevices > 0, a fresh in-memory table is created.
+	// Passing a table restored via store.ReadWatermarks lets dedup
+	// survive a collector restart.
+	Watermarks *store.Watermarks
+}
+
+func (c CollectorConfig) withDefaults() CollectorConfig {
+	if c.Shards <= 0 {
+		c.Shards = DefaultCollectorShards
+	}
+	// Round up to a power of two so shard selection is a mask.
+	n := 1
+	for n < c.Shards {
+		n <<= 1
+	}
+	c.Shards = n
+	if c.AckEvery <= 0 {
+		c.AckEvery = DefaultAckEvery
+	}
+	if c.MaxIdleDevices > 0 && c.Watermarks == nil {
+		c.Watermarks = store.NewWatermarks()
+	}
+	return c
+}
+
 // Collector is the cloud-side receiver: it accepts connections from edge
 // devices, parses segment frames, and hands decompressed (or raw encoded)
 // segments to a sink. It is the minimal centralized counterpart an
 // AdaEdge deployment transmits to.
 //
 // Connections that open with a session hello get reliable-delivery
-// semantics: the collector tracks a per-device cumulative watermark,
+// semantics: the collector tracks a per-device cumulative watermark and
 // drops redelivered segments (the resilient uplink retransmits everything
-// unacknowledged after a reconnect), and answers every frame with a
-// cumulative ACK. The sink therefore sees each segment ID exactly once
-// per device even though the wire is at-least-once.
+// unacknowledged after a reconnect), so the sink sees each segment ID at
+// most once per device even though the wire is at-least-once.
+//
+// Fleet-scale architecture (DESIGN.md §8):
+//
+//   - The per-device state map is sharded by device-ID hash; frames from
+//     unrelated devices touch different mutexes and never contend.
+//   - Each device is a single-writer session: a new reliable connection
+//     for a device ID atomically takes ownership (bumping a generation
+//     counter and closing the stale connection), and both the watermark
+//     update and the sink call happen under the per-device mutex. Sink
+//     calls for one device are therefore serialized and ID-ordered by
+//     construction, no matter how many zombie connections a flaky
+//     network leaves behind.
+//   - ACKs are coalesced for protocol-v2 sessions (every K frames or
+//     when the read side goes idle); v1 sessions keep the lockstep
+//     one-ACK-per-frame exchange byte for byte.
+//   - Idle devices beyond CollectorConfig.MaxIdleDevices are evicted
+//     down to a watermark entry in a store.Watermarks table, so a fleet
+//     of mostly-idle devices costs O(1) small entries each, and
+//     eviction can never re-open a delivered ID.
+//
+// The sink's values slice is only valid for the duration of the call
+// (decode buffers are pooled); sinks that retain values must copy.
 type Collector struct {
+	cfg  CollectorConfig
 	reg  *compress.Registry
 	sink func(Frame, []float64)
+	wm   *store.Watermarks // evicted watermarks; nil when eviction is off
 	// om caches the obs handles; nil until Instrument. Written before
 	// Serve (see Instrument), read by handler goroutines.
 	om *collectorMetrics
 
-	mu         sync.Mutex
-	ln         net.Listener // guarded by mu
-	wg         sync.WaitGroup
-	conns      map[net.Conn]struct{} // live connections; guarded by mu
-	devices    map[uint64]*deviceState
-	frames     int  // guarded by mu
-	duplicates int  // guarded by mu
-	badConns   int  // guarded by mu
-	closed     bool // guarded by mu
+	shards []*collectorShard
+
+	// Frame counters are updated on every frame from per-connection
+	// handler goroutines across all shards, hence atomics rather than a
+	// global mutex that would re-serialize the sharded hot path.
+	frames     atomic.Int64 // delivered to the sink
+	duplicates atomic.Int64 // dropped by a device watermark
+	badConns   atomic.Int64 // connections dropped on malformed input
+	kicked     atomic.Int64 // stale sessions displaced by a redial
+	evictions  atomic.Int64 // idle devices evicted to the watermark table
+	// idle counts resident devices with no live connection, across all
+	// shards; compared against cfg.MaxIdleDevices on detach.
+	idle atomic.Int64
+
+	mu     sync.Mutex
+	ln     net.Listener // guarded by mu
+	wg     sync.WaitGroup
+	conns  map[net.Conn]struct{} // live connections; guarded by mu
+	closed bool                  // guarded by mu
 }
 
-// deviceState is the per-device delivery watermark, persistent across the
-// device's reconnects.
+// collectorShard is one slice of the per-device session map.
+type collectorShard struct {
+	mu      sync.Mutex
+	devices map[uint64]*deviceState // guarded by mu
+}
+
+// deviceState is one device's delivery session, persistent across the
+// device's reconnects (until evicted to the watermark table).
+//
+// Lock order: shard mutex before deviceState.mu, never the reverse. The
+// per-frame hot path takes only deviceState.mu; attach/detach/evict take
+// the shard mutex first.
 type deviceState struct {
-	// next is the cumulative watermark: every ID < next was delivered.
+	mu sync.Mutex
+	// next is the cumulative watermark: every ID < next was delivered;
+	// guarded by mu.
 	next uint64
+	// gen is the session generation. Each reliable connection that
+	// attaches bumps it; a handler whose generation is stale has been
+	// kicked and must stop delivering. Guarded by mu.
+	gen uint64
+	// conn is the owning session's connection, nil while the device is
+	// idle; guarded by mu.
+	conn net.Conn
 }
 
-// NewCollector builds a receiver. sink is invoked for every frame with the
-// decompressed values (nil when decode fails or the codec is unknown —
-// the frame itself still carries the payload).
+// NewCollector builds a receiver with default configuration. sink is
+// invoked for every frame with the decompressed values (nil when decode
+// fails or the codec is unknown — the frame itself still carries the
+// payload). The values slice is reused after the sink returns; copy to
+// retain.
 func NewCollector(reg *compress.Registry, sink func(Frame, []float64)) *Collector {
+	return NewCollectorWith(reg, sink, CollectorConfig{})
+}
+
+// NewCollectorWith builds a receiver with explicit fleet configuration.
+func NewCollectorWith(reg *compress.Registry, sink func(Frame, []float64), cfg CollectorConfig) *Collector {
 	if sink == nil {
 		sink = func(Frame, []float64) {}
 	}
-	return &Collector{
-		reg:     reg,
-		sink:    sink,
-		conns:   make(map[net.Conn]struct{}),
-		devices: make(map[uint64]*deviceState),
+	cfg = cfg.withDefaults()
+	c := &Collector{
+		cfg:    cfg,
+		reg:    reg,
+		sink:   sink,
+		wm:     cfg.Watermarks,
+		shards: make([]*collectorShard, cfg.Shards),
+		conns:  make(map[net.Conn]struct{}),
 	}
+	for i := range c.shards {
+		c.shards[i] = &collectorShard{devices: make(map[uint64]*deviceState)}
+	}
+	return c
+}
+
+// shard maps a device ID to its shard. The ID is mixed through
+// splitmix64 first so sequential fleet IDs spread across shards.
+func (c *Collector) shard(deviceID uint64) *collectorShard {
+	state := deviceID
+	return c.shards[splitmix64(&state)&uint64(len(c.shards)-1)]
 }
 
 // Instrument attaches the observability substrate: delivery/redelivery
-// counters and one trace-ring event per received frame (Source
+// counters, session/eviction counters, ACK-batch and shard-depth
+// histograms, and one trace-ring event per received frame (Source
 // "transport.collector"). Must be called before Serve; a nil observer is
 // a no-op. Returns the collector for chaining.
 func (c *Collector) Instrument(o *obs.Observer) *Collector {
@@ -159,56 +291,171 @@ func (c *Collector) handleLegacy(br *bufio.Reader) {
 			c.noteBadConn()
 			return
 		}
-		c.mu.Lock()
-		c.frames++
-		c.mu.Unlock()
+		c.frames.Add(1)
 		c.om.legacyFrame()
-		c.sink(frame, c.decode(frame))
+		values, release := c.decode(frame)
+		c.sink(frame, values)
+		release()
 	}
 }
 
-// handleReliable is the hello/ACK path: per-device dedup, cumulative ACK
-// after every frame.
+// attach takes single-writer ownership of deviceID for conn: it creates
+// or revives the device session (seeding the watermark from the eviction
+// table for returning devices), bumps the session generation, and kicks
+// any stale connection. It returns the session and the generation this
+// handler owns.
+func (c *Collector) attach(deviceID uint64, conn net.Conn) (*deviceState, uint64) {
+	sh := c.shard(deviceID)
+	sh.mu.Lock()
+	dev, resident := sh.devices[deviceID]
+	if !resident {
+		dev = &deviceState{}
+		if c.wm != nil {
+			if next, ok := c.wm.Load(deviceID); ok {
+				dev.next = next
+			}
+		}
+		sh.devices[deviceID] = dev
+	}
+	c.om.shardDepth(len(sh.devices))
+	// Lock order: shard mutex, then device mutex. Waiting here on a
+	// device mid-delivery is what guarantees the old session's in-flight
+	// sink call completes before the new session's first one.
+	dev.mu.Lock()
+	stale := dev.conn
+	if resident && stale == nil {
+		c.idle.Add(-1)
+	}
+	dev.gen++
+	gen := dev.gen
+	dev.conn = conn
+	dev.mu.Unlock()
+	sh.mu.Unlock()
+	if stale != nil {
+		_ = stale.Close()
+		c.kicked.Add(1)
+		c.om.sessionKicked()
+	}
+	return dev, gen
+}
+
+// detach releases a handler's session ownership. If a newer session has
+// already kicked this one, detach is a no-op; otherwise the device goes
+// idle and, past the idle bound, is evicted down to its watermark.
+func (c *Collector) detach(deviceID uint64, dev *deviceState, gen uint64) {
+	sh := c.shard(deviceID)
+	sh.mu.Lock()
+	dev.mu.Lock()
+	if dev.gen != gen {
+		dev.mu.Unlock()
+		sh.mu.Unlock()
+		return
+	}
+	dev.conn = nil
+	next := dev.next
+	evict := c.cfg.MaxIdleDevices > 0 && c.idle.Load() >= int64(c.cfg.MaxIdleDevices)
+	if evict {
+		delete(sh.devices, deviceID)
+	} else {
+		c.idle.Add(1)
+	}
+	dev.mu.Unlock()
+	depth := len(sh.devices)
+	sh.mu.Unlock()
+	if c.wm != nil {
+		c.wm.Store(deviceID, next)
+	}
+	if evict {
+		c.evictions.Add(1)
+		c.om.eviction()
+		c.om.shardDepth(depth)
+	}
+}
+
+// handleReliable is the hello/ACK path: per-device dedup with serialized,
+// ID-ordered sink calls; lockstep ACKs for v1 sessions, coalesced ACKs
+// for v2.
 func (c *Collector) handleReliable(conn net.Conn, br *bufio.Reader) {
-	deviceID, err := readHello(br)
+	h, err := readHello(br)
 	if err != nil {
 		c.noteBadConn()
 		return
 	}
-	c.mu.Lock()
-	dev, ok := c.devices[deviceID]
-	if !ok {
-		dev = &deviceState{}
-		c.devices[deviceID] = dev
+	ackEvery := uint64(1)
+	if h.version >= helloVersion2 {
+		ackEvery = h.ackEvery
+		if ackEvery == 0 {
+			ackEvery = uint64(c.cfg.AckEvery)
+		}
+		if ackEvery > maxAckEvery {
+			ackEvery = maxAckEvery
+		}
 	}
-	c.mu.Unlock()
+	dev, gen := c.attach(h.deviceID, conn)
+	defer c.detach(h.deviceID, dev, gen)
 	r := NewReader(br)
 	bw := bufio.NewWriter(conn)
+	var pending uint64 // frames received since the last ACK
 	for {
 		frame, err := r.Recv()
 		if errors.Is(err, io.EOF) {
 			return
 		}
 		if err != nil {
+			// A kicked session's connection is closed under it mid-read;
+			// that is a clean takeover, not a protocol violation.
+			dev.mu.Lock()
+			stale := dev.gen != gen
+			dev.mu.Unlock()
+			if !stale {
+				c.noteBadConn()
+			}
+			return
+		}
+		if frame.ID == math.MaxUint64 {
+			// A MaxUint64 ID would wrap the cumulative watermark
+			// (next = ID+1 = 0), silently re-opening every past ID for
+			// redelivery. No legitimate device reaches 2^64-1 segments;
+			// reject the frame and drop the connection.
 			c.noteBadConn()
 			return
 		}
-		c.mu.Lock()
+		values, release := c.decode(frame)
+		dev.mu.Lock()
+		if dev.gen != gen {
+			// Kicked: a newer session owns this device. Stop without
+			// delivering or acking; the new session will see the
+			// retransmit and dedup it against the shared watermark.
+			dev.mu.Unlock()
+			release()
+			return
+		}
 		deliver := frame.ID >= dev.next
 		if deliver {
 			// The spool resends in ID order, so IDs at the watermark (or
 			// above it, if the device shed segments) advance it; anything
 			// below is a redelivery.
 			dev.next = frame.ID + 1
-			c.frames++
+			c.frames.Add(1)
+			// The sink runs under dev.mu: this is the single-writer
+			// guarantee that per-device sink calls are serialized and
+			// ID-ordered even if a zombie connection lingers. Counters and
+			// the trace event stay inside the critical section too, so the
+			// per-device event order in the ring matches delivery order.
+			c.sink(frame, values)
 		} else {
-			c.duplicates++
+			c.duplicates.Add(1)
 		}
+		c.om.frame(h.deviceID, frame.ID, deliver)
 		ackNext := dev.next
-		c.mu.Unlock()
-		c.om.frame(deviceID, frame.ID, deliver)
-		if deliver {
-			c.sink(frame, c.decode(frame))
+		dev.mu.Unlock()
+		release()
+		pending++
+		// v1 acks in lockstep (ackEvery == 1); v2 coalesces: ack every
+		// ackEvery frames, or as soon as the read side goes idle so the
+		// tail of a burst is never left waiting.
+		if pending < ackEvery && br.Buffered() > 0 {
+			continue
 		}
 		_ = conn.SetWriteDeadline(time.Now().Add(ackWriteTimeout))
 		if err := writeAck(bw, ackNext); err != nil {
@@ -217,60 +464,95 @@ func (c *Collector) handleReliable(conn net.Conn, br *bufio.Reader) {
 		if err := bw.Flush(); err != nil {
 			return
 		}
+		c.om.ackBatch(pending)
+		pending = 0
 	}
 }
 
-func (c *Collector) decode(frame Frame) []float64 {
+// decodeBufPool recycles decode buffers across frames and connections:
+// the collector's per-frame hot path must not allocate per decode
+// (DESIGN.md §10). Buffers grow to the largest segment seen and are
+// handed to the sink, so sink values are only valid during the call.
+var decodeBufPool = sync.Pool{
+	New: func() any { b := make([]float64, 0, 256); return &b },
+}
+
+// decode decompresses a frame into a pooled buffer. release returns the
+// buffer to the pool; callers must not touch values after calling it.
+func (c *Collector) decode(frame Frame) (values []float64, release func()) {
 	if c.reg == nil {
-		return nil
+		return nil, func() {}
 	}
-	values, err := c.reg.Decompress(frame.Enc)
+	bp := decodeBufPool.Get().(*[]float64)
+	out, err := c.reg.DecompressInto((*bp)[:0], frame.Enc)
 	if err != nil {
-		return nil
+		decodeBufPool.Put(bp)
+		return nil, func() {}
 	}
-	return values
+	*bp = out
+	return out, func() {
+		decodeBufPool.Put(bp)
+	}
 }
 
 func (c *Collector) noteBadConn() {
-	c.mu.Lock()
-	c.badConns++
-	c.mu.Unlock()
+	c.badConns.Add(1)
 	c.om.badConn()
 }
 
 // Frames returns the number of frames delivered to the sink so far
 // (duplicates excluded).
-func (c *Collector) Frames() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.frames
-}
+func (c *Collector) Frames() int { return int(c.frames.Load()) }
 
 // Duplicates returns the number of redelivered frames dropped by the
 // per-device watermark.
-func (c *Collector) Duplicates() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.duplicates
-}
+func (c *Collector) Duplicates() int { return int(c.duplicates.Load()) }
 
 // BadConns returns the number of connections dropped on malformed input.
-func (c *Collector) BadConns() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.badConns
+func (c *Collector) BadConns() int { return int(c.badConns.Load()) }
+
+// Kicked returns the number of stale sessions displaced by a newer
+// connection for the same device.
+func (c *Collector) Kicked() int { return int(c.kicked.Load()) }
+
+// Evictions returns the number of idle devices evicted down to the
+// watermark table.
+func (c *Collector) Evictions() int { return int(c.evictions.Load()) }
+
+// ResidentDevices returns the number of devices with full session state
+// in memory (idle or connected); evicted devices are excluded.
+func (c *Collector) ResidentDevices() int {
+	n := 0
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		n += len(sh.devices)
+		sh.mu.Unlock()
+	}
+	return n
 }
 
+// Watermarks returns the eviction watermark table (nil when eviction is
+// disabled and no table was configured). Serialize it with WriteTo to
+// carry dedup state across a collector restart.
+func (c *Collector) Watermarks() *store.Watermarks { return c.wm }
+
 // Acked returns a device's cumulative watermark (all IDs below it were
-// delivered) and whether the device has ever connected reliably.
+// delivered) and whether the device is known — resident or evicted.
 func (c *Collector) Acked(deviceID uint64) (uint64, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	dev, ok := c.devices[deviceID]
-	if !ok {
-		return 0, false
+	sh := c.shard(deviceID)
+	sh.mu.Lock()
+	dev, ok := sh.devices[deviceID]
+	sh.mu.Unlock()
+	if ok {
+		dev.mu.Lock()
+		next := dev.next
+		dev.mu.Unlock()
+		return next, true
 	}
-	return dev.next, true
+	if c.wm != nil {
+		return c.wm.Load(deviceID)
+	}
+	return 0, false
 }
 
 // Close stops accepting, closes live connections, and waits for handlers.
@@ -295,6 +577,19 @@ func (c *Collector) Close() error {
 		_ = conn.Close()
 	}
 	c.wg.Wait()
+	if c.wm != nil {
+		// Fold every resident watermark into the table so a restart
+		// carrying the serialized table never re-delivers.
+		for _, sh := range c.shards {
+			sh.mu.Lock()
+			for id, dev := range sh.devices {
+				dev.mu.Lock()
+				c.wm.Store(id, dev.next)
+				dev.mu.Unlock()
+			}
+			sh.mu.Unlock()
+		}
+	}
 	return err
 }
 

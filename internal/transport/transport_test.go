@@ -8,6 +8,7 @@ import (
 	"io"
 	"math"
 	"net"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -197,14 +198,39 @@ func TestHelloRoundTrip(t *testing.T) {
 	if err := writeHello(&buf, 99); err != nil {
 		t.Fatal(err)
 	}
-	id, err := readHello(bufio.NewReader(&buf))
-	if err != nil || id != 99 {
-		t.Fatalf("round trip: id=%d err=%v", id, err)
+	h, err := readHello(bufio.NewReader(&buf))
+	if err != nil || h.deviceID != 99 || h.version != helloVersion || h.ackEvery != 0 {
+		t.Fatalf("v1 round trip: %+v err=%v", h, err)
+	}
+	buf.Reset()
+	if err := writeHelloV2(&buf, 7, 32); err != nil {
+		t.Fatal(err)
+	}
+	h, err = readHello(bufio.NewReader(&buf))
+	if err != nil || h.deviceID != 7 || h.version != helloVersion2 || h.ackEvery != 32 {
+		t.Fatalf("v2 round trip: %+v err=%v", h, err)
 	}
 	// Unknown protocol versions are rejected up front.
-	bad := []byte{'A', 'E', 'H', '1', 2, 99}
+	bad := []byte{'A', 'E', 'H', '1', 3, 99}
 	if _, err := readHello(bufio.NewReader(bytes.NewReader(bad))); !errors.Is(err, ErrBadFrame) {
-		t.Fatalf("version 2: want ErrBadFrame, got %v", err)
+		t.Fatalf("version 3: want ErrBadFrame, got %v", err)
+	}
+	// A hello torn mid-version reports the read failure, not a bogus
+	// "version 0" (the readHello error-conflation regression).
+	torn := []byte{'A', 'E', 'H', '1'}
+	_, err = readHello(bufio.NewReader(bytes.NewReader(torn)))
+	if !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("torn hello: want ErrBadFrame, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "reading hello version") || strings.Contains(err.Error(), "version 0") {
+		t.Fatalf("torn hello error conflates read failure with version mismatch: %v", err)
+	}
+	// Torn mid-deviceID and mid-ackEvery are likewise diagnosable reads.
+	if _, err := readHello(bufio.NewReader(bytes.NewReader([]byte{'A', 'E', 'H', '1', 1}))); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("torn device id: want ErrBadFrame, got %v", err)
+	}
+	if _, err := readHello(bufio.NewReader(bytes.NewReader([]byte{'A', 'E', 'H', '1', 2, 7}))); !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("torn ack interval: want ErrBadFrame, got %v", err)
 	}
 }
 
@@ -275,7 +301,9 @@ func TestCollectorEndToEnd(t *testing.T) {
 	received := map[uint64][]float64{}
 	col := NewCollector(reg, func(f Frame, values []float64) {
 		mu.Lock()
-		received[f.ID] = values
+		// values is only valid during the callback (pooled decode
+		// buffers) — retaining requires a copy.
+		received[f.ID] = append([]float64(nil), values...)
 		mu.Unlock()
 	})
 	addr, err := col.Serve("127.0.0.1:0")

@@ -9,16 +9,30 @@ import (
 
 // Reliable-session wire extensions. A resilient uplink opens each
 // connection with a hello frame identifying the device; the collector
-// answers every segment frame on that connection with a cumulative ACK.
+// answers segment frames on that connection with cumulative ACKs.
 // Connections that do not start with a hello are legacy fire-and-forget
 // streams (plain Uplink) and receive no ACKs, so the two generations of
 // senders interoperate with one collector.
 //
 // Hello (device → collector, once per connection):
 //
-//	magic "AEH1" | uvarint protocol version (1) | uvarint deviceID
+//	v1: magic "AEH1" | uvarint 1 | uvarint deviceID
+//	v2: magic "AEH1" | uvarint 2 | uvarint deviceID | uvarint ackEvery
 //
-// ACK (collector → device, after every frame):
+// Version 1 is the lockstep protocol: the collector answers every frame
+// with an ACK before reading the next, and the device waits for it. That
+// round trip per frame is what makes the seeded chaos traces
+// byte-reproducible, so v1 is preserved verbatim for old devices and the
+// determinism suite.
+//
+// Version 2 is the pipelined protocol: the device streams frames without
+// waiting, and the collector coalesces ACKs — one every ackEvery frames,
+// or sooner when its read side goes idle (nothing buffered), so the tail
+// of a burst is acknowledged promptly. ackEvery is the device's request;
+// the collector may ack more often (idle flush) but never less. ackEvery
+// of 0 asks for the collector's default.
+//
+// ACK (collector → device):
 //
 //	magic "AEA1" | uvarint next
 //
@@ -32,10 +46,20 @@ var (
 	ackMagic   = [4]byte{'A', 'E', 'A', '1'}
 )
 
-// helloVersion is the reliable-session protocol version.
-const helloVersion = 1
+// Reliable-session protocol versions (see package comment above).
+const (
+	helloVersion  = 1 // lockstep: one ACK per frame, sender waits
+	helloVersion2 = 2 // pipelined: batched ACKs, negotiated ackEvery
+)
 
-// writeHello emits the session hello for deviceID.
+// hello carries the negotiated parameters of one reliable session.
+type hello struct {
+	deviceID uint64
+	version  uint64
+	ackEvery uint64 // v2 only: requested ACK coalescing factor (0 = collector default)
+}
+
+// writeHello emits a version-1 (lockstep) session hello for deviceID.
 func writeHello(w io.Writer, deviceID uint64) error {
 	var buf [4 + 2*binary.MaxVarintLen64]byte
 	n := copy(buf[:], helloMagic[:])
@@ -45,25 +69,50 @@ func writeHello(w io.Writer, deviceID uint64) error {
 	return err
 }
 
+// writeHelloV2 emits a version-2 (pipelined) session hello for deviceID,
+// requesting an ACK at least every ackEvery frames.
+func writeHelloV2(w io.Writer, deviceID, ackEvery uint64) error {
+	var buf [4 + 3*binary.MaxVarintLen64]byte
+	n := copy(buf[:], helloMagic[:])
+	n += binary.PutUvarint(buf[n:], helloVersion2)
+	n += binary.PutUvarint(buf[n:], deviceID)
+	n += binary.PutUvarint(buf[n:], ackEvery)
+	_, err := w.Write(buf[:n])
+	return err
+}
+
 // readHello parses a session hello whose magic has already been peeked
-// (not consumed) by the caller.
-func readHello(r *bufio.Reader) (deviceID uint64, err error) {
+// (not consumed) by the caller. A failed read is reported as the
+// underlying error (torn hello), distinct from a cleanly-read but
+// unsupported version.
+func readHello(r *bufio.Reader) (hello, error) {
+	var h hello
 	var magic [4]byte
 	if _, err := io.ReadFull(r, magic[:]); err != nil {
-		return 0, fmt.Errorf("%w: %v", ErrBadFrame, err)
+		return h, fmt.Errorf("%w: %v", ErrBadFrame, err)
 	}
 	if magic != helloMagic {
-		return 0, ErrBadFrame
+		return h, ErrBadFrame
 	}
 	version, err := binary.ReadUvarint(r)
-	if err != nil || version != helloVersion {
-		return 0, fmt.Errorf("%w: hello version %d", ErrBadFrame, version)
-	}
-	deviceID, err = binary.ReadUvarint(r)
 	if err != nil {
-		return 0, fmt.Errorf("%w: %v", ErrBadFrame, err)
+		return h, fmt.Errorf("%w: reading hello version: %v", ErrBadFrame, err)
 	}
-	return deviceID, nil
+	if version != helloVersion && version != helloVersion2 {
+		return h, fmt.Errorf("%w: hello version %d", ErrBadFrame, version)
+	}
+	h.version = version
+	h.deviceID, err = binary.ReadUvarint(r)
+	if err != nil {
+		return h, fmt.Errorf("%w: reading hello device id: %v", ErrBadFrame, err)
+	}
+	if version == helloVersion2 {
+		h.ackEvery, err = binary.ReadUvarint(r)
+		if err != nil {
+			return h, fmt.Errorf("%w: reading hello ack interval: %v", ErrBadFrame, err)
+		}
+	}
+	return h, nil
 }
 
 // writeAck emits a cumulative acknowledgement: all IDs < next received.
