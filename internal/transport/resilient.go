@@ -137,9 +137,12 @@ type UplinkStats struct {
 	Acked uint64
 	// Dials and DialFailures count connection attempts.
 	Dials, DialFailures int
-	// SendFailures counts frame writes or ACK reads that broke the
-	// connection.
+	// SendFailures counts frame writes that broke the connection.
 	SendFailures int
+	// AckFailures counts ACK reads that broke the connection (timeouts
+	// and torn reads on the collector→device half), kept separate from
+	// SendFailures so the two halves stay diagnosable.
+	AckFailures int
 	// Pending and Dropped report the spool state.
 	Pending, Dropped int
 }
@@ -463,7 +466,7 @@ func (u *ResilientUplink) sendOne(e *store.Entry) error {
 	next, err := readAck(br)
 	if err != nil {
 		u.mu.Lock()
-		u.stats.SendFailures++
+		u.stats.AckFailures++
 		u.mu.Unlock()
 		u.event(Event{Kind: "ack-fail", ID: e.ID, Err: err.Error()})
 		return err
@@ -585,7 +588,7 @@ func (u *ResilientUplink) ackLoop(conn net.Conn, br *bufio.Reader, sent, stop <-
 		next, err := readAck(br)
 		if err != nil {
 			u.mu.Lock()
-			u.stats.SendFailures++
+			u.stats.AckFailures++
 			u.mu.Unlock()
 			u.event(Event{Kind: "ack-fail", Err: err.Error()})
 			ackErr <- err

@@ -136,7 +136,9 @@ type Collector struct {
 	kicked     atomic.Int64 // stale sessions displaced by a redial
 	evictions  atomic.Int64 // idle devices evicted to the watermark table
 	// idle counts resident devices with no live connection, across all
-	// shards; compared against cfg.MaxIdleDevices on detach.
+	// shards. Detach compare-and-increments it with a CAS loop against
+	// cfg.MaxIdleDevices, so the idle bound is strict even under
+	// concurrent detaches.
 	idle atomic.Int64
 
 	mu     sync.Mutex
@@ -155,9 +157,11 @@ type collectorShard struct {
 // deviceState is one device's delivery session, persistent across the
 // device's reconnects (until evicted to the watermark table).
 //
-// Lock order: shard mutex before deviceState.mu, never the reverse. The
-// per-frame hot path takes only deviceState.mu; attach/detach/evict take
-// the shard mutex first.
+// Lock order: shard mutex before deviceState.mu (Close's watermark fold
+// is the only path nesting them); never acquire the shard mutex while
+// holding deviceState.mu. attach and detach deliberately hold the two
+// one at a time, so a slow sink call (which runs under deviceState.mu)
+// stalls only its own device, never the whole shard.
 type deviceState struct {
 	mu sync.Mutex
 	// next is the cumulative watermark: every ID < next was delivered;
@@ -170,6 +174,15 @@ type deviceState struct {
 	// conn is the owning session's connection, nil while the device is
 	// idle; guarded by mu.
 	conn net.Conn
+	// idle reports that this device is counted in Collector.idle; set by
+	// a non-evicting detach, cleared by the attach that revives the
+	// session. Guarded by mu.
+	idle bool
+	// evicted marks a struct evicted down to the watermark table: the
+	// watermark was stored before this flag was set, and the map entry
+	// is on its way out. attach must not revive it — it clears the dead
+	// entry and re-seeds from the table instead. Guarded by mu.
+	evicted bool
 }
 
 // NewCollector builds a receiver with default configuration. sink is
@@ -306,70 +319,117 @@ func (c *Collector) handleLegacy(br *bufio.Reader) {
 // handler owns.
 func (c *Collector) attach(deviceID uint64, conn net.Conn) (*deviceState, uint64) {
 	sh := c.shard(deviceID)
-	sh.mu.Lock()
-	dev, resident := sh.devices[deviceID]
-	if !resident {
-		dev = &deviceState{}
-		if c.wm != nil {
-			if next, ok := c.wm.Load(deviceID); ok {
-				dev.next = next
+	for {
+		sh.mu.Lock()
+		dev, resident := sh.devices[deviceID]
+		if !resident {
+			dev = &deviceState{}
+			if c.wm != nil {
+				if next, ok := c.wm.Load(deviceID); ok {
+					dev.next = next
+				}
 			}
+			sh.devices[deviceID] = dev
 		}
-		sh.devices[deviceID] = dev
+		c.om.shardDepth(len(sh.devices))
+		// The shard lock is dropped before waiting on the device: the
+		// stale session may be mid-sink under dev.mu, and holding sh.mu
+		// across that wait would stall attach/detach for every unrelated
+		// device in the shard. The map entry keeps dev pinned. Waiting on
+		// dev.mu is still what guarantees the old session's in-flight
+		// sink call completes before the new session's first one.
+		sh.mu.Unlock()
+		dev.mu.Lock()
+		if dev.evicted {
+			// Lost a race with an evicting detach: the watermark is
+			// already in the table, but the dead struct may still shadow
+			// it in the map. Clear it (detach's delete is identity-checked
+			// too, so whoever gets there first wins) and start over from
+			// the table.
+			dev.mu.Unlock()
+			sh.mu.Lock()
+			if sh.devices[deviceID] == dev {
+				delete(sh.devices, deviceID)
+			}
+			sh.mu.Unlock()
+			continue
+		}
+		if dev.idle {
+			dev.idle = false
+			c.idle.Add(-1)
+		}
+		stale := dev.conn
+		dev.gen++
+		gen := dev.gen
+		dev.conn = conn
+		dev.mu.Unlock()
+		if stale != nil {
+			_ = stale.Close()
+			c.kicked.Add(1)
+			c.om.sessionKicked()
+		}
+		return dev, gen
 	}
-	c.om.shardDepth(len(sh.devices))
-	// Lock order: shard mutex, then device mutex. Waiting here on a
-	// device mid-delivery is what guarantees the old session's in-flight
-	// sink call completes before the new session's first one.
-	dev.mu.Lock()
-	stale := dev.conn
-	if resident && stale == nil {
-		c.idle.Add(-1)
-	}
-	dev.gen++
-	gen := dev.gen
-	dev.conn = conn
-	dev.mu.Unlock()
-	sh.mu.Unlock()
-	if stale != nil {
-		_ = stale.Close()
-		c.kicked.Add(1)
-		c.om.sessionKicked()
-	}
-	return dev, gen
 }
 
 // detach releases a handler's session ownership. If a newer session has
 // already kicked this one, detach is a no-op; otherwise the device goes
 // idle and, past the idle bound, is evicted down to its watermark.
 func (c *Collector) detach(deviceID uint64, dev *deviceState, gen uint64) {
-	sh := c.shard(deviceID)
-	sh.mu.Lock()
 	dev.mu.Lock()
 	if dev.gen != gen {
 		dev.mu.Unlock()
-		sh.mu.Unlock()
 		return
 	}
 	dev.conn = nil
-	next := dev.next
-	evict := c.cfg.MaxIdleDevices > 0 && c.idle.Load() >= int64(c.cfg.MaxIdleDevices)
-	if evict {
-		delete(sh.devices, deviceID)
+	// Strict idle bound: the compare and the increment must be one
+	// atomic step, or concurrent detaches could all pass the check and
+	// leave resident idle devices above the configured bound.
+	evict := false
+	if c.cfg.MaxIdleDevices > 0 {
+		for {
+			n := c.idle.Load()
+			if n >= int64(c.cfg.MaxIdleDevices) {
+				evict = true
+				break
+			}
+			if c.idle.CompareAndSwap(n, n+1) {
+				break
+			}
+		}
 	} else {
 		c.idle.Add(1)
 	}
-	dev.mu.Unlock()
-	depth := len(sh.devices)
-	sh.mu.Unlock()
+	dev.idle = !evict
 	if c.wm != nil {
-		c.wm.Store(deviceID, next)
+		// The watermark goes into the table before the map entry can be
+		// observed gone: evicted is set in this same critical section,
+		// and the map delete (here or in attach's cleanup) happens only
+		// after evicted was observed under dev.mu. A device reconnecting
+		// mid-eviction therefore always finds the resident session or
+		// the table entry — never neither, which would seed next=0 and
+		// redeliver everything already delivered.
+		c.wm.Store(deviceID, dev.next)
 	}
 	if evict {
-		c.evictions.Add(1)
-		c.om.eviction()
-		c.om.shardDepth(depth)
+		dev.evicted = true
 	}
+	dev.mu.Unlock()
+	if !evict {
+		return
+	}
+	sh := c.shard(deviceID)
+	sh.mu.Lock()
+	// attach may have cleared the dead struct already (and replaced it
+	// with a revived session); only ever remove our own.
+	if sh.devices[deviceID] == dev {
+		delete(sh.devices, deviceID)
+	}
+	depth := len(sh.devices)
+	sh.mu.Unlock()
+	c.evictions.Add(1)
+	c.om.eviction()
+	c.om.shardDepth(depth)
 }
 
 // handleReliable is the hello/ACK path: per-device dedup with serialized,
@@ -420,18 +480,23 @@ func (c *Collector) handleReliable(conn net.Conn, br *bufio.Reader) {
 			c.noteBadConn()
 			return
 		}
-		values, release := c.decode(frame)
 		dev.mu.Lock()
 		if dev.gen != gen {
 			// Kicked: a newer session owns this device. Stop without
 			// delivering or acking; the new session will see the
 			// retransmit and dedup it against the shared watermark.
 			dev.mu.Unlock()
-			release()
 			return
 		}
 		deliver := frame.ID >= dev.next
 		if deliver {
+			// Decode only frames the watermark admits: a reconnect storm
+			// retransmits everything unacknowledged in bulk, and paying
+			// full decompression for duplicates the very next line drops
+			// would make the herd redial even more expensive. The decode
+			// shares dev.mu with the sink call, which already serializes
+			// this device's deliveries.
+			values, release := c.decode(frame)
 			// The spool resends in ID order, so IDs at the watermark (or
 			// above it, if the device shed segments) advance it; anything
 			// below is a redelivery.
@@ -443,13 +508,13 @@ func (c *Collector) handleReliable(conn net.Conn, br *bufio.Reader) {
 			// the trace event stay inside the critical section too, so the
 			// per-device event order in the ring matches delivery order.
 			c.sink(frame, values)
+			release()
 		} else {
 			c.duplicates.Add(1)
 		}
 		c.om.frame(h.deviceID, frame.ID, deliver)
 		ackNext := dev.next
 		dev.mu.Unlock()
-		release()
 		pending++
 		// v1 acks in lockstep (ackEvery == 1); v2 coalesces: ack every
 		// ackEvery frames, or as soon as the read side goes idle so the

@@ -270,6 +270,87 @@ func TestCollectorIdleEviction(t *testing.T) {
 	}
 }
 
+// TestCollectorEvictReattachRace is the regression for the eviction
+// window bug: detach used to delete the device from its shard map and
+// release the shard lock *before* storing the watermark into the table,
+// so a device redialing in that window found neither resident state nor
+// a watermark entry, seeded next=0, and redelivered everything — exactly
+// during the herd-reconnect scenario eviction exists for. Hammer
+// immediate evict/reattach cycles (the idle slot is pinned by a filler
+// device, so every detach of the hot device evicts) and assert the sink
+// never sees a frame twice.
+func TestCollectorEvictReattachRace(t *testing.T) {
+	reg := compress.DefaultRegistry(4)
+	var mu sync.Mutex
+	counts := map[uint64]int{}
+	col := NewCollectorWith(reg, func(f Frame, _ []float64) {
+		mu.Lock()
+		counts[f.ID]++
+		mu.Unlock()
+	}, CollectorConfig{Shards: 1, MaxIdleDevices: 1})
+	addr, err := col.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer col.Close()
+
+	// The filler device detaches first and occupies the single idle
+	// slot, so every later detach of device 1 takes the evict path.
+	const fillerID, fillerFrame = 2, uint64(1000)
+	filler := dialSession(t, addr.String(), fillerID)
+	filler.send(t, smallFrame(fillerFrame))
+	if next := filler.ack(t); next != fillerFrame+1 {
+		t.Fatalf("filler ack = %d, want %d", next, fillerFrame+1)
+	}
+	_ = filler.conn.Close()
+	// Detach is asynchronous; its non-evict path stores the watermark,
+	// which is the signal that the idle slot is taken.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, ok := col.Watermarks().Load(fillerID); ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("filler never detached")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Evict/reattach cycles: close and immediately redial, so attach
+	// races the previous handler's evicting detach. Frame 0 is resent
+	// every cycle; if any interleaving loses the watermark it is
+	// redelivered and the per-ID count breaks.
+	const cycles = 200
+	for i := uint64(0); i < cycles; i++ {
+		s := dialSession(t, addr.String(), 1)
+		if i > 0 {
+			s.send(t, smallFrame(0))
+			if next := s.ack(t); next != i {
+				t.Fatalf("cycle %d: dup ack = %d, want %d (watermark lost)", i, next, i)
+			}
+		}
+		s.send(t, smallFrame(i))
+		if next := s.ack(t); next != i+1 {
+			t.Fatalf("cycle %d: ack = %d, want %d", i, next, i+1)
+		}
+		_ = s.conn.Close()
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	for id, n := range counts {
+		if n != 1 {
+			t.Fatalf("frame %d delivered %d times, want exactly once", id, n)
+		}
+	}
+	if len(counts) != cycles+1 {
+		t.Fatalf("delivered %d distinct frames, want %d", len(counts), cycles+1)
+	}
+	if f, d := col.Frames(), col.Duplicates(); f != cycles+1 || d != cycles-1 {
+		t.Fatalf("frames=%d duplicates=%d, want %d and %d", f, d, cycles+1, cycles-1)
+	}
+}
+
 // TestResilientPipelinedDelivery: the version-2 protocol delivers
 // exactly once with coalesced ACKs, and WaitDrain's notification path
 // (no polling) sees the drain.
