@@ -8,7 +8,7 @@ VETTOOL := $(BIN)/adaedge-lint
 # Per-target fuzz time for the smoke pass (CI uses the same value).
 FUZZTIME ?= 20s
 
-.PHONY: all build vet lint escape-gate escape-gate-update test race fuzz-smoke obs-smoke fleet-smoke bench-json bench-compare ci clean
+.PHONY: all build vet lint escape-gate escape-gate-update test race fuzz-smoke obs-smoke fleet-smoke bench-json bench-compare doc-drift ci clean
 
 all: build
 
@@ -95,7 +95,13 @@ bench-compare:
 	$(GO) run ./cmd/adaedge-bench -exp bench -segments $(BENCHBASESEGMENTS) -json BENCH_head.json
 	$(GO) run ./cmd/adaedge-bench -compare $(BENCHBASELINE) BENCH_head.json
 
-ci: build vet lint escape-gate race obs-smoke fleet-smoke
+# doc-drift cross-checks README.md against the CLI flag surface in both
+# directions: every defined flag must be documented, every documented
+# flag must still exist.
+doc-drift:
+	./scripts/doc_drift.sh
+
+ci: build vet lint escape-gate race obs-smoke fleet-smoke doc-drift
 
 clean:
 	rm -rf $(BIN)

@@ -214,6 +214,34 @@ func driveEngines(t *testing.T, o *obs.Observer) {
 		t.Fatal("infeasible-target run succeeded — no_feasible path not driven")
 	}
 
+	// A contextual run under an unmeetable deadline drives the predictive
+	// layer end to end: predict events and the prediction-error histograms
+	// once arms warm up, deadline rejects as predictions turn infeasible,
+	// and the forced-fallback path (every ratio-feasible arm missing the
+	// deadline) with its deadline_fallback events and miss counter.
+	ctxEng, err := core.NewOnlineEngine(core.Config{
+		TargetRatioOverride: 0.15,
+		Objective:           core.SingleTarget(core.TargetRatio),
+		BanditPolicy:        "contextual",
+		Deadline:            200 * time.Nanosecond,
+		Seed:                21,
+		Obs:                 o,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctxSegs := make([]core.LabeledSegment, 40)
+	for i := range ctxSegs {
+		v, label := stream.Next()
+		ctxSegs[i] = core.LabeledSegment{Values: v, Label: label}
+	}
+	if _, err := core.RunOnlineSegments(context.Background(), ctxEng, ctxSegs); err != nil {
+		t.Fatal(err)
+	}
+	if st := ctxEng.Stats(); st.DeadlineFallbacks == 0 || st.DeadlineMisses == 0 || st.DeadlineRejects == 0 {
+		t.Fatalf("contextual deadline run did not drive the gate (stats %+v)", st)
+	}
+
 	off, err := core.NewOfflineEngine(core.Config{
 		StorageBytes: 30 << 10,
 		Objective:    core.AggTarget(query.Sum),

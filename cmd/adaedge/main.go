@@ -42,7 +42,8 @@ func main() {
 	verbose := flag.Bool("v", false, "print the per-segment selection trace")
 	policy := flag.String("policy", "lru", "offline recoding policy: lru|roundrobin|informativeness")
 	ucb := flag.Bool("ucb", false, "use UCB1 instead of optimistic ε-greedy")
-	banditName := flag.String("bandit", "", "selection policy: egreedy|ucb|gradient (empty = egreedy; -ucb wins when set)")
+	banditName := flag.String("bandit", "", "selection policy: egreedy|ucb|gradient|contextual (empty = egreedy; -ucb wins when set)")
+	deadline := flag.Duration("deadline", 0, "per-segment latency deadline (predicted encode+uplink); 0 disables the gate")
 	qualityEvery := flag.Int("quality", 0, "online decision-quality oracle: score every Nth decision (0 disables); snapshot at /debug/quality")
 	extended := flag.Bool("extended", false, "add the modelar and summary codecs to the candidate set")
 	workers := flag.Int("workers", 1, "codec-trial worker goroutines (1 = sequential; results are identical at any count)")
@@ -63,6 +64,7 @@ func main() {
 		Seed:                *seed,
 		UseUCB:              *ucb,
 		BanditPolicy:        *banditName,
+		Deadline:            *deadline,
 		Workers:             *workers,
 	}
 	if *qualityEvery > 0 {
@@ -192,6 +194,10 @@ func runOnline(cfg core.Config, stream *datasets.CBFStream, segments int, verbos
 	fmt.Printf("\nsegments: %d (lossless %d, lossy %d)\n", st.Segments, st.LosslessSegments, st.LossySegments)
 	fmt.Printf("overall ratio: %.4f   mean accuracy loss: %.4f\n", st.OverallRatio(), st.MeanAccuracyLoss())
 	fmt.Printf("bandwidth violations: %d\n", st.BandwidthViolations)
+	if cfg.Deadline > 0 {
+		fmt.Printf("deadline: rejects %d   fallbacks %d   misses %d   violations %d\n",
+			st.DeadlineRejects, st.DeadlineFallbacks, st.DeadlineMisses, st.DeadlineViolations)
+	}
 	printUse("codec use", st.CodecUse)
 	if tr := eng.Quality(); tr != nil {
 		q := tr.Snapshot()

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/bandit"
+	"repro/internal/bandit/contextual"
 	"repro/internal/compress"
 	"repro/internal/obs"
 	"repro/internal/obs/quality"
@@ -42,10 +43,20 @@ type Config struct {
 	Bandit bandit.Config
 	// UseUCB selects UCB1 instead of ε-greedy.
 	UseUCB bool
-	// BanditPolicy names the selection policy: "egreedy" (default), "ucb"
-	// or "gradient". UseUCB predates it and wins when set, so existing
-	// callers keep their behaviour.
+	// BanditPolicy names the selection policy: "egreedy" (default), "ucb",
+	// "gradient" or "contextual" (prediction-warm-started selection, see
+	// internal/bandit/contextual and DESIGN.md §11). UseUCB predates it
+	// and wins when set, so existing callers keep their behaviour.
 	BanditPolicy string
+	// Deadline bounds each segment's predicted encode+uplink latency
+	// (online engine, DESIGN.md §11). Arms whose predicted total latency
+	// misses it are masked out of selection; when nothing feasible
+	// remains the engine degrades to the fastest predicted arm instead of
+	// dropping the segment. Predictions come from the deterministic codec
+	// cost model and the online ridge predictor, never from measured
+	// durations, so gating is reproducible at any Workers count. 0
+	// disables the gate. Works under any BanditPolicy.
+	Deadline time.Duration
 	// SingleLossyMAB collapses the offline per-ratio-range bandit pool
 	// into one instance. The paper argues (§IV-C2) that rewards differ
 	// too much across ratio ranges for a single instance; this switch
@@ -176,10 +187,10 @@ func armNames(override, all []string) []string {
 // default policy.
 func validatePolicy(cfg Config) error {
 	switch cfg.BanditPolicy {
-	case "", "egreedy", "ucb", "gradient":
+	case "", "egreedy", "ucb", "gradient", "contextual":
 		return nil
 	}
-	return fmt.Errorf("core: unknown BanditPolicy %q (want egreedy, ucb or gradient)", cfg.BanditPolicy)
+	return fmt.Errorf("core: unknown BanditPolicy %q (want egreedy, ucb, gradient or contextual)", cfg.BanditPolicy)
 }
 
 // newPolicy builds the configured bandit policy. name labels the
@@ -201,6 +212,12 @@ func buildPolicy(cfg Config, arms int, bc bandit.Config) bandit.Policy {
 		return bandit.NewUCB1(arms, bc)
 	case "gradient":
 		return bandit.NewGradient(arms, bc)
+	case "contextual":
+		// Without per-segment priors (the offline pool never sets any)
+		// this behaves like the optimistic ε-greedy baseline; the online
+		// engine's contextual layer installs predictions before each
+		// Select.
+		return contextual.New(arms, bc)
 	}
 	return bandit.NewEpsilonGreedy(arms, bc)
 }

@@ -61,6 +61,11 @@ type OnlineEngine struct {
 	// (see internal/core/quality.go).
 	qo *qualityOracle
 
+	// ctx is the contextual prediction/deadline layer; nil unless the
+	// config selects the "contextual" policy or sets a Deadline (see
+	// internal/core/contextual.go).
+	ctx *contextualCtl
+
 	// scr holds decision-goroutine-only scratch (arm masks, parked decode
 	// buffers) reused across segments.
 	scr engineScratch
@@ -84,6 +89,17 @@ type OnlineStats struct {
 	BandwidthViolations int
 	// CodecUse counts selections per codec.
 	CodecUse map[string]int
+	// DeadlineRejects counts arms the deadline gate masked out of
+	// selection; DeadlineFallbacks counts segments forced onto the
+	// fastest predicted arm because no feasible arm remained;
+	// DeadlineMisses counts segments whose selected arm's cost-model
+	// latency exceeded the deadline anyway. All 0 when Config.Deadline
+	// is unset.
+	DeadlineRejects, DeadlineFallbacks, DeadlineMisses int
+	// DeadlineViolations counts selections of a predicted-infeasible arm
+	// outside the explicit fallback path. The gate's invariant is that
+	// this stays 0; tests and the BENCH deadline cell assert it.
+	DeadlineViolations int
 }
 
 // MeanAccuracyLoss returns the average per-segment workload accuracy loss.
@@ -141,6 +157,7 @@ func NewOnlineEngine(cfg Config) (*OnlineEngine, error) {
 	if e.costFn == nil {
 		e.costFn = DefaultCodecCost
 	}
+	e.ctx = newContextualCtl(cfg, e)
 	if cfg.DeviceWatts > 0 {
 		e.energy = NewEnergyMeter(cfg.DeviceWatts, cfg.EnergyBudgetJoules)
 	}
@@ -305,6 +322,9 @@ func (e *OnlineEngine) process(values []float64, prep *PreparedSegment) (Result,
 	// One consistent target per segment, even if a concurrent Degrade
 	// lands mid-decision.
 	target := e.EffectiveTarget()
+	// Contextual layer: features, per-arm predictions, policy priors and
+	// deadline feasibility for this segment (no-op when disabled).
+	e.ctx.begin(values)
 	// On oracle-sampled decisions, capture the trials this decision
 	// consumes so the counterfactual evaluation reuses instead of
 	// recomputing them. Nil (the common case) keeps every note a no-op.
@@ -365,6 +385,12 @@ func (e *OnlineEngine) tryLossless(target float64) bool {
 // adaedge:decision-goroutine
 func (e *OnlineEngine) processLossless(id uint64, values []float64, prep *PreparedSegment, target float64, trials *decisionTrials) (Result, compress.Encoded, bool) {
 	allowed := e.scr.boolMask(len(e.losslessNames), true)
+	if !e.ctx.maskLossless(allowed) {
+		// Every lossless arm misses the predicted deadline; the lossy
+		// phase is the degradation path, so skip without recording a
+		// viability failure (the data's compressibility did not change).
+		return Result{}, compress.Encoded{}, false
+	}
 	for remaining := len(e.losslessNames); remaining > 0; remaining-- {
 		arm := e.losslessMAB.Select(allowed)
 		if arm < 0 {
@@ -397,6 +423,7 @@ func (e *OnlineEngine) processLossless(id uint64, values []float64, prep *Prepar
 		// Lossless selection optimizes compressed size regardless of the
 		// workload target: task accuracy is unaffected (paper §IV-C1).
 		e.losslessMAB.Update(arm, 1-minf(ratio, 1))
+		e.ctx.observeLossless(arm, len(values), ratio, 1-minf(ratio, 1))
 		if target < 1 && ratio > target+ratioSlack {
 			if recycle {
 				t.release()
@@ -411,6 +438,7 @@ func (e *OnlineEngine) processLossless(id uint64, values []float64, prep *Prepar
 			// handed off by the ProcessPrepared sweep.
 			t.handOff()
 		}
+		e.ctx.chosen(id, arm, len(values), false, ratio)
 		return Result{
 			SegmentID: id, Codec: name, Lossy: false, Ratio: ratio,
 			Reward: 1 - minf(ratio, 1), Duration: t.dur,
@@ -447,6 +475,9 @@ func (e *OnlineEngine) processLossy(id uint64, values []float64, prep *PreparedS
 		e.om.noFeasible(id, target, e.Pressure())
 		return Result{}, compress.Encoded{}, ErrNoFeasibleCodec
 	}
+	// Deadline gate over the ratio-feasible arms; guarantees at least one
+	// arm stays allowed (the fastest predicted one, as a fallback).
+	e.ctx.applyDeadline(id, allowed)
 	arm := e.lossyMAB.Select(allowed)
 	name := e.lossyNames[arm]
 	e.energy.Charge(e.costFn("encode", name, len(values)))
@@ -479,6 +510,8 @@ func (e *OnlineEngine) processLossy(id uint64, values []float64, prep *PreparedS
 	obs := Observation{Raw: values, Decoded: t.decoded, CompressedBytes: t.enc.Size(), Duration: t.dur}
 	reward := e.eval.Reward(obs)
 	e.lossyMAB.Update(arm, reward)
+	e.ctx.observeLossy(arm, len(values), t.enc.Ratio(), reward)
+	e.ctx.chosen(id, arm, len(values), true, t.enc.Ratio())
 	return Result{
 		SegmentID: id, Codec: name, Lossy: true, Ratio: t.enc.Ratio(),
 		Reward: reward, AccuracyLoss: e.eval.AccuracyLoss(obs), Duration: t.dur,
@@ -573,6 +606,18 @@ func (e *OnlineEngine) account(res Result) {
 	if e.cfg.Bandwidth > 0 && !e.cfg.Bandwidth.Carries(e.cfg.IngestRate*8*res.Ratio) {
 		e.stats.BandwidthViolations++
 		e.om.violation()
+	}
+	if e.ctx != nil {
+		e.stats.DeadlineRejects += e.ctx.segRejects
+		if e.ctx.segFallback {
+			e.stats.DeadlineFallbacks++
+		}
+		if e.ctx.segMiss {
+			e.stats.DeadlineMisses++
+		}
+		if e.ctx.segViolation {
+			e.stats.DeadlineViolations++
+		}
 	}
 }
 

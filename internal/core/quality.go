@@ -124,6 +124,9 @@ func (o *qualityOracle) observeLossless(e *OnlineEngine, res Result, values []fl
 	reused, shadow := 0, 0
 	var tasks []func()
 	for arm := 0; arm < n; arm++ {
+		if !e.ctx.losslessCandidate(arm) {
+			continue // deadline-masked on the decision path this segment
+		}
 		if t, ok := cached.lossless[arm]; ok {
 			trials[arm], have[arm] = t, true
 			reused++
@@ -190,6 +193,9 @@ func (o *qualityOracle) observeLossy(e *OnlineEngine, res Result, values []float
 		}
 		if mr > target {
 			continue // the decision path could not have chosen it
+		}
+		if !e.ctx.lossyCandidate(arm) {
+			continue // deadline-masked (or outside the forced fallback)
 		}
 		if t, ok := cached.lossy[arm]; ok {
 			trials[arm], have[arm] = t, true

@@ -37,7 +37,11 @@ import (
 //
 // v2: perf gained ns_per_segment and allocs_per_op (the regression gate's
 // primary axes); unknown top-level fields are rejected.
-const BenchSchemaVersion = 2
+//
+// v3: quality gained the deadline counters (deadline_fallbacks,
+// deadline_misses, deadline_violations) and the matrix gained the
+// contextual cells (online_ctx_ratio, online_ctx_deadline).
+const BenchSchemaVersion = 3
 
 // BenchConfig sizes the matrix.
 type BenchConfig struct {
@@ -89,6 +93,13 @@ type BenchQuality struct {
 	// (zero online).
 	SpaceUtilization float64 `json:"space_utilization"`
 	Recodes          int     `json:"recodes"`
+	// DeadlineFallbacks and DeadlineMisses describe the deadline gate's
+	// behaviour on cells that set one (zero elsewhere); both are seeded-
+	// deterministic. DeadlineViolations must be 0 on every cell — the
+	// gate's invariant; benchOnline errors rather than emit a nonzero.
+	DeadlineFallbacks  int `json:"deadline_fallbacks"`
+	DeadlineMisses     int `json:"deadline_misses"`
+	DeadlineViolations int `json:"deadline_violations"`
 }
 
 // BenchPerf holds one case's measured performance fields.
@@ -181,11 +192,25 @@ func RunBench(w io.Writer, cfg BenchConfig) (BenchDoc, error) {
 	specs := []spec{
 		{name: "online_ratio", target: "ratio", run: func(workers int) (BenchCase, error) {
 			return benchOnline(cfg, "online_ratio", "ratio",
-				core.SingleTarget(core.TargetRatio), 0.15, workers)
+				core.SingleTarget(core.TargetRatio), 0.15, workers, "", 0)
 		}},
 		{name: "online_ml_rforest", target: "ml(rforest)", run: func(workers int) (BenchCase, error) {
 			return benchOnline(cfg, "online_ml_rforest", "ml(rforest)",
-				core.MLTarget(model), 0.1, workers)
+				core.MLTarget(model), 0.1, workers, "", 0)
+		}},
+		// The contextual pair mirrors online_ratio: same objective, stream
+		// and ratio, so online_ratio vs online_ctx_ratio is a direct
+		// warm-start-vs-cold comparison at equal constraints, and
+		// online_ctx_deadline adds the 5µs gate (ratio-override cells have
+		// no uplink term, so the deadline bounds the cost-model encode
+		// latency alone — tight enough to reject the slow transforms).
+		{name: "online_ctx_ratio", target: "ratio", run: func(workers int) (BenchCase, error) {
+			return benchOnline(cfg, "online_ctx_ratio", "ratio",
+				core.SingleTarget(core.TargetRatio), 0.15, workers, "contextual", 0)
+		}},
+		{name: "online_ctx_deadline", target: "ratio", run: func(workers int) (BenchCase, error) {
+			return benchOnline(cfg, "online_ctx_deadline", "ratio",
+				core.SingleTarget(core.TargetRatio), 0.15, workers, "contextual", 5*time.Microsecond)
 		}},
 		{name: "offline_ml_kmeans", target: "ml(kmeans)", run: func(workers int) (BenchCase, error) {
 			return benchOffline(cfg, "offline_ml_kmeans", "ml(kmeans)",
@@ -299,10 +324,14 @@ func fmtRegret(r *float64) string {
 }
 
 // benchOnline runs one online cell with the quality oracle attached.
-func benchOnline(cfg BenchConfig, name, target string, obj core.Objective, ratio float64, workers int) (BenchCase, error) {
+// policy "" selects the default ε-greedy; a positive deadline arms the
+// per-segment latency gate.
+func benchOnline(cfg BenchConfig, name, target string, obj core.Objective, ratio float64, workers int, policy string, deadline time.Duration) (BenchCase, error) {
 	eng, err := core.NewOnlineEngine(core.Config{
 		TargetRatioOverride: ratio,
 		Objective:           obj,
+		BanditPolicy:        policy,
+		Deadline:            deadline,
 		Seed:                cfg.Seed,
 		Workers:             workers,
 		Quality:             &quality.Config{SampleEvery: 4},
@@ -329,6 +358,9 @@ func benchOnline(cfg BenchConfig, name, target string, obj core.Objective, ratio
 	runtime.ReadMemStats(&after)
 
 	st := eng.Stats()
+	if st.DeadlineViolations != 0 {
+		return BenchCase{}, fmt.Errorf("bench %s: %d deadline violations — the gate's invariant broke", name, st.DeadlineViolations)
+	}
 	qs := eng.Quality().Snapshot()
 	regret := qs.CumulativeRegret
 	return BenchCase{
@@ -343,6 +375,10 @@ func benchOnline(cfg BenchConfig, name, target string, obj core.Objective, ratio
 			RegretSamples:    qs.Samples,
 			ArmSwitches:      qs.ArmSwitches,
 			OptimalRate:      qs.OptimalRate,
+
+			DeadlineFallbacks:  st.DeadlineFallbacks,
+			DeadlineMisses:     st.DeadlineMisses,
+			DeadlineViolations: st.DeadlineViolations,
 		},
 		Perf: benchPerf(wall, cfg.Segments, rawBytes, &before, &after),
 	}, nil

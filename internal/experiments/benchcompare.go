@@ -195,6 +195,9 @@ func (r *CompareReport) compareCase(oc, nc BenchCase) {
 		{"optimal_rate", oq.OptimalRate, nq.OptimalRate},
 		{"space_utilization", oq.SpaceUtilization, nq.SpaceUtilization},
 		{"recodes", float64(oq.Recodes), float64(nq.Recodes)},
+		{"deadline_fallbacks", float64(oq.DeadlineFallbacks), float64(nq.DeadlineFallbacks)},
+		{"deadline_misses", float64(oq.DeadlineMisses), float64(nq.DeadlineMisses)},
+		{"deadline_violations", float64(oq.DeadlineViolations), float64(nq.DeadlineViolations)},
 	}
 	for _, f := range exact {
 		if f.old != f.new {

@@ -3,6 +3,7 @@ package experiments
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -74,7 +75,7 @@ func TestCompareSchemaMismatch(t *testing.T) {
 			if !strings.Contains(msg, "schema version mismatch") {
 				t.Fatalf("error does not mention the schema mismatch: %q", msg)
 			}
-			if !strings.Contains(msg, "1") || !strings.Contains(msg, "2") {
+			if !strings.Contains(msg, "1") || !strings.Contains(msg, fmt.Sprint(BenchSchemaVersion)) {
 				t.Fatalf("error does not name both versions: %q", msg)
 			}
 		})

@@ -110,6 +110,7 @@ func validateCase(c map[string]any) error {
 		"overall_ratio", "mean_accuracy_loss", "lossless_segments",
 		"lossy_segments", "regret_samples", "arm_switches", "optimal_rate",
 		"space_utilization", "recodes",
+		"deadline_fallbacks", "deadline_misses", "deadline_violations",
 	} {
 		v, err := wantNumber(q, key)
 		if err != nil {
@@ -118,6 +119,11 @@ func validateCase(c map[string]any) error {
 		if v < 0 {
 			return fmt.Errorf("quality: %s = %v, want >= 0", key, v)
 		}
+	}
+	// The deadline gate's invariant is part of the schema: a document
+	// recording a violation is invalid, not merely a regression.
+	if v, _ := wantNumber(q, "deadline_violations"); v != 0 {
+		return fmt.Errorf("quality: deadline_violations = %v, want 0", v)
 	}
 	// final_regret is optional (offline cases omit it) but must be a
 	// non-negative number when present.

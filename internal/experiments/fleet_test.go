@@ -71,7 +71,7 @@ func TestBenchFleetCase(t *testing.T) {
 // validated.
 func TestBenchSchemaFleet(t *testing.T) {
 	doc := `{
-	  "schema_version": 2, "tool": "adaedge-bench", "go_version": "go",
+	  "schema_version": 3, "tool": "adaedge-bench", "go_version": "go",
 	  "gomaxprocs": 1, "segments": 10, "seed": 11,
 	  "cases": [{
 	    "name": "fleet_v2", "mode": "fleet", "target": "collector",
@@ -79,7 +79,8 @@ func TestBenchSchemaFleet(t *testing.T) {
 	    "target_ratio": 0, "storage_bytes": 0,
 	    "quality": {"overall_ratio": 0, "mean_accuracy_loss": 0,
 	      "lossless_segments": 0, "lossy_segments": 0, "regret_samples": 0,
-	      "arm_switches": 0, "optimal_rate": 0, "space_utilization": 0, "recodes": 0},
+	      "arm_switches": 0, "optimal_rate": 0, "space_utilization": 0, "recodes": 0,
+	      "deadline_fallbacks": 0, "deadline_misses": 0, "deadline_violations": 0},
 	    "perf": {"wall_seconds": 1, "segments_per_sec": 1, "raw_bytes_per_sec": 1,
 	      "ns_per_segment": 1, "allocs_per_op": 0, "alloc_bytes": 0, "mallocs": 0, "num_gc": 0},
 	    "fleet": {"devices": 4, "segments_per_device": 2, "delivered": 8,

@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# doc_drift.sh — keep README.md in lockstep with the CLI flag surface.
+#
+# Extracts every flag definition (`flag.String("name", ...)` etc.) from
+# cmd/adaedge and cmd/adaedge-bench and requires README.md to mention
+# each as `-name`. The reverse direction is covered too: every `-flag`
+# README.md documents in its flag tables must still exist in the
+# binaries, so deleted or renamed flags cannot leave stale docs behind.
+# Run via `make doc-drift`; the ci target includes it.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# Flag names defined in a CLI package: flag.Type("name", ...).
+defined_flags() {
+	grep -hoE 'flag\.[A-Za-z0-9]+\("[a-z-]+"' "$1"/*.go | sed -E 's/.*\("([a-z-]+)".*/\1/' | sort -u
+}
+
+for cmd in cmd/adaedge cmd/adaedge-bench; do
+	bin=$(basename "$cmd")
+	for f in $(defined_flags "$cmd"); do
+		if ! grep -qE "(^|[^a-zA-Z0-9-])-$f([^a-zA-Z0-9-]|$)" README.md; then
+			echo "doc-drift: $bin defines -$f but README.md never mentions it" >&2
+			fail=1
+		fi
+	done
+done
+
+# Reverse: flags documented in README flag tables (`| \`-name\` ...` rows
+# and \`-name value\` mentions) must exist in one of the binaries.
+documented=$(grep -oE '`-[a-z-]+( [^`]*)?`' README.md | sed -E 's/^`-([a-z-]+).*/\1/' | sort -u)
+known=$( (defined_flags cmd/adaedge; defined_flags cmd/adaedge-bench) | sort -u)
+for f in $documented; do
+	if ! printf '%s\n' "$known" | grep -qx "$f"; then
+		echo "doc-drift: README.md documents -$f but no CLI defines it" >&2
+		fail=1
+	fi
+done
+
+if [ "$fail" -ne 0 ]; then
+	echo "doc-drift: FAIL — update README.md (or the flag definitions) so they agree" >&2
+	exit 1
+fi
+echo "doc-drift: README.md flag docs match the CLI surface"
