@@ -62,10 +62,44 @@ var backtickRE = regexp.MustCompile("`([^`]+)`")
 var bucketRE = regexp.MustCompile(`\[\d+\]`)
 
 // docCatalogue is what OBSERVABILITY.md claims: metric names (with
-// `<codec>`/`<bucket>` placeholders intact) and event source→kinds.
+// `<codec>`/`<bucket>` placeholders intact), each metric's Meaning cell,
+// event source→kinds, and the span-stage catalogue.
 type docCatalogue struct {
-	metrics map[string]bool
-	events  map[string]map[string]bool // source → kind set
+	metrics    map[string]bool
+	help       map[string]string // metric name → Meaning cell
+	events     map[string]map[string]bool // source → kind set
+	spanStages map[string]bool
+}
+
+// splitTableRow splits one markdown table row into trimmed cells,
+// honouring the `\|` escape used inside Meaning cells (the leading and
+// trailing empty cells from the outer pipes are dropped).
+func splitTableRow(line string) []string {
+	var cells []string
+	var cur strings.Builder
+	escaped := false
+	for _, r := range line {
+		switch {
+		case escaped:
+			if r != '|' {
+				cur.WriteRune('\\')
+			}
+			cur.WriteRune(r)
+			escaped = false
+		case r == '\\':
+			escaped = true
+		case r == '|':
+			cells = append(cells, strings.TrimSpace(cur.String()))
+			cur.Reset()
+		default:
+			cur.WriteRune(r)
+		}
+	}
+	cells = append(cells, strings.TrimSpace(cur.String()))
+	if len(cells) >= 2 {
+		cells = cells[1 : len(cells)-1]
+	}
+	return cells
 }
 
 func parseCatalogue(t *testing.T) docCatalogue {
@@ -74,44 +108,62 @@ func parseCatalogue(t *testing.T) docCatalogue {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cat := docCatalogue{metrics: map[string]bool{}, events: map[string]map[string]bool{}}
-	inEvents := false
+	cat := docCatalogue{
+		metrics:    map[string]bool{},
+		help:       map[string]string{},
+		events:     map[string]map[string]bool{},
+		spanStages: map[string]bool{},
+	}
+	inEvents, inStages := false, false
 	for _, line := range strings.Split(string(data), "\n") {
 		if m := metricRowRE.FindStringSubmatch(line); m != nil {
 			cat.metrics[m[1]] = true
+			if cells := splitTableRow(line); len(cells) >= 3 {
+				cat.help[m[1]] = cells[2]
+			}
 			continue
 		}
 		trimmed := strings.TrimSpace(line)
-		if strings.HasPrefix(trimmed, "| Source | Kinds") {
-			inEvents = true
+		switch {
+		case strings.HasPrefix(trimmed, "| Source | Kinds"):
+			inEvents, inStages = true, false
+			continue
+		case strings.HasPrefix(trimmed, "| Stage | Emitted by"):
+			inStages, inEvents = true, false
+			continue
+		case !strings.HasPrefix(trimmed, "|"):
+			inEvents, inStages = false, false
 			continue
 		}
-		if inEvents {
-			if !strings.HasPrefix(trimmed, "|") {
-				inEvents = false
-				continue
+		cells := strings.Split(trimmed, "|")
+		if len(cells) < 4 || strings.HasPrefix(strings.TrimSpace(cells[1]), "---") {
+			continue
+		}
+		if inStages {
+			for _, s := range backtickRE.FindAllStringSubmatch(cells[1], -1) {
+				cat.spanStages[s[1]] = true
 			}
-			cells := strings.Split(trimmed, "|")
-			if len(cells) < 4 || strings.HasPrefix(strings.TrimSpace(cells[1]), "---") {
-				continue
+			continue
+		}
+		if !inEvents {
+			continue
+		}
+		sources := backtickRE.FindAllStringSubmatch(cells[1], -1)
+		kinds := backtickRE.FindAllStringSubmatch(cells[2], -1)
+		for _, s := range sources {
+			ks := cat.events[s[1]]
+			if ks == nil {
+				ks = map[string]bool{}
+				cat.events[s[1]] = ks
 			}
-			sources := backtickRE.FindAllStringSubmatch(cells[1], -1)
-			kinds := backtickRE.FindAllStringSubmatch(cells[2], -1)
-			for _, s := range sources {
-				ks := cat.events[s[1]]
-				if ks == nil {
-					ks = map[string]bool{}
-					cat.events[s[1]] = ks
-				}
-				for _, k := range kinds {
-					ks[k[1]] = true
-				}
+			for _, k := range kinds {
+				ks[k[1]] = true
 			}
 		}
 	}
-	if len(cat.metrics) == 0 || len(cat.events) == 0 {
-		t.Fatalf("parsed an empty catalogue (metrics=%d, event sources=%d) — did the table format change?",
-			len(cat.metrics), len(cat.events))
+	if len(cat.metrics) == 0 || len(cat.events) == 0 || len(cat.spanStages) == 0 {
+		t.Fatalf("parsed an empty catalogue (metrics=%d, event sources=%d, span stages=%d) — did the table format change?",
+			len(cat.metrics), len(cat.events), len(cat.spanStages))
 	}
 	return cat
 }
@@ -140,8 +192,9 @@ func normalizeSource(src string) string {
 
 // driftOutcome is the union of everything the driven surfaces emitted.
 type driftOutcome struct {
-	metrics map[string]bool
-	events  map[string]map[string]bool
+	metrics    map[string]bool
+	events     map[string]map[string]bool
+	spanStages map[string]bool // stage names with at least one record
 }
 
 func (o *driftOutcome) absorb(obsv *obs.Observer) {
@@ -163,6 +216,11 @@ func (o *driftOutcome) absorb(obsv *obs.Observer) {
 			o.events[src] = ks
 		}
 		ks[ev.Kind] = true
+	}
+	for stage, n := range obsv.Spans().StageCounts() {
+		if n > 0 {
+			o.spanStages[stage] = true
+		}
 	}
 }
 
@@ -312,7 +370,10 @@ func driveTransport(t *testing.T, upObs, colObs *obs.Observer) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := up.Send(transport.Frame{ID: uint64(i), Label: -1, Enc: enc}); err != nil {
+		// Traced frames drive the wire/collector span stages and the AES2
+		// header end to end.
+		frame := transport.Frame{ID: uint64(i), Label: -1, Trace: obs.TraceOfSegment(uint64(i)), Enc: enc}
+		if err := up.Send(frame); err != nil {
 			t.Fatalf("send %d: %v", i, err)
 		}
 	}
@@ -332,10 +393,17 @@ func TestObservabilityCatalogueDrift(t *testing.T) {
 	engObs := obs.New(1 << 16)
 	upObs := obs.New(1 << 16)
 	colObs := obs.New(1 << 16)
+	// Spans on everywhere: the engine drives the device-side stages, the
+	// traced transport run drives spool/wire/collector stages, and the
+	// stage histograms register so the documented→emitted direction covers
+	// the span metric family too.
+	engObs.EnableSpans(0)
+	upObs.EnableSpans(0)
+	colObs.EnableSpans(0)
 	driveEngines(t, engObs)
 	driveTransport(t, upObs, colObs)
 
-	got := driftOutcome{metrics: map[string]bool{}, events: map[string]map[string]bool{}}
+	got := driftOutcome{metrics: map[string]bool{}, events: map[string]map[string]bool{}, spanStages: map[string]bool{}}
 	got.absorb(engObs)
 	got.absorb(upObs)
 	got.absorb(colObs)
@@ -381,8 +449,62 @@ func TestObservabilityCatalogueDrift(t *testing.T) {
 		}
 	}
 
+	// Span stages, both directions: every stage the driven surfaces
+	// recorded must have a catalogue row, every catalogued stage must be
+	// recorded (the harness drives the full lifecycle), and the catalogue
+	// must match the canonical obs.StageNames set exactly.
+	for _, stage := range sortedKeys(got.spanStages) {
+		if !cat.spanStages[stage] {
+			drift = append(drift, fmt.Sprintf("span stage %q is emitted but missing from OBSERVABILITY.md", stage))
+		}
+	}
+	for _, stage := range sortedKeys(cat.spanStages) {
+		if !got.spanStages[stage] {
+			drift = append(drift, fmt.Sprintf("documented span stage %q was never recorded", stage))
+		}
+	}
+	canonical := map[string]bool{}
+	for _, stage := range obs.StageNames() {
+		canonical[stage] = true
+		if !cat.spanStages[stage] {
+			drift = append(drift, fmt.Sprintf("span stage %q (obs.StageNames) has no catalogue row", stage))
+		}
+	}
+	for _, stage := range sortedKeys(cat.spanStages) {
+		if !canonical[stage] {
+			drift = append(drift, fmt.Sprintf("documented span stage %q is not in obs.StageNames", stage))
+		}
+	}
+
 	if len(drift) > 0 {
 		t.Fatalf("observability catalogue drift (%d):\n  %s", len(drift), strings.Join(drift, "\n  "))
+	}
+}
+
+// TestMetricHelpDrift keeps obs.MetricHelp (the # HELP source for the
+// Prometheus exposition) mirrored against the catalogue's Meaning cells
+// in both directions: every documented metric's meaning must be the help
+// text verbatim, and every help entry must have a catalogue row.
+func TestMetricHelpDrift(t *testing.T) {
+	cat := parseCatalogue(t)
+	var drift []string
+	for _, name := range sortedKeys(cat.metrics) {
+		want, ok := cat.help[name]
+		if !ok || want == "" {
+			drift = append(drift, fmt.Sprintf("metric %q has no Meaning cell", name))
+			continue
+		}
+		if got := obs.MetricHelp[name]; got != want {
+			drift = append(drift, fmt.Sprintf("metric %q help drifted:\n    doc:  %q\n    code: %q", name, want, got))
+		}
+	}
+	for name := range obs.MetricHelp {
+		if !cat.metrics[name] {
+			drift = append(drift, fmt.Sprintf("obs.MetricHelp[%q] has no OBSERVABILITY.md catalogue row", name))
+		}
+	}
+	if len(drift) > 0 {
+		t.Fatalf("metric help drift (%d):\n  %s", len(drift), strings.Join(drift, "\n  "))
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/experiments"
 	"repro/internal/obs"
@@ -29,6 +30,8 @@ func main() {
 	model := flag.String("model", "", "fig7 model kind: dtree|rforest|knn|kmeans (default: all four)")
 	format := flag.String("format", "text", "output format: text|csv (csv supports fig2,3,5,6,7,8,9,10,11,12,13,14)")
 	debugAddr := flag.String("debug-addr", "", "serve /debug/pprof (and the obs endpoints) on this address while experiments run; empty disables")
+	spans := flag.Bool("spans", false, "fleet experiment: record segment-lifecycle spans and print the per-device health scoreboard (browse at /debug/spans and /debug/fleet with -debug-addr)")
+	linger := flag.Duration("linger", 0, "keep the process (and -debug-addr endpoints) alive this long after the experiments")
 	jsonPath := flag.String("json", "", "bench experiment: write the schema-versioned BENCH document to this path")
 	validate := flag.String("validate", "", "validate an existing BENCH_*.json against the schema and exit")
 	compare := flag.String("compare", "", "compare this baseline BENCH_*.json against the NEW document given as the positional argument; exit 1 on regression, 2 on structural error")
@@ -61,8 +64,11 @@ func main() {
 		return
 	}
 
+	var observer *obs.Observer
+	if *debugAddr != "" || *spans {
+		observer = obs.New(0)
+	}
 	if *debugAddr != "" {
-		observer := obs.New(0)
 		addr, stop, err := observer.Serve(*debugAddr)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -169,11 +175,20 @@ func main() {
 		case "headline":
 			experiments.HeadlineClaims(w, *segments)
 		case "fleet":
-			_, err := experiments.RunFleet(w, experiments.FleetConfig{
+			fleetCfg := experiments.FleetConfig{
 				Devices:           *devices,
 				SegmentsPerDevice: *segments,
-			})
+			}
+			if *spans {
+				// The instrumented run records spans end to end and asserts
+				// exactly one closed span per delivered segment.
+				fleetCfg.Obs = observer
+			}
+			_, err := experiments.RunFleet(w, fleetCfg)
 			emit(err)
+			if *spans {
+				printFleetBoard(w, observer)
+			}
 		case "bench":
 			cfg := experiments.BenchConfig{Segments: *segments}
 			if *workers > 0 {
@@ -200,7 +215,28 @@ func main() {
 			fmt.Fprintf(w, "=== %s ===\n", name)
 			run(name)
 		}
+	} else {
+		run(*exp)
+	}
+	if *linger > 0 {
+		fmt.Fprintf(os.Stderr, "lingering %v for debug scraping\n", *linger)
+		time.Sleep(*linger)
+	}
+}
+
+// printFleetBoard renders the per-device health scoreboard a spans-enabled
+// fleet run filled in (the same rows /debug/fleet serves).
+func printFleetBoard(w *os.File, observer *obs.Observer) {
+	rows := observer.Fleet().Snapshot()
+	if len(rows) == 0 {
 		return
 	}
-	run(*exp)
+	fmt.Fprintln(w, "fleet health scoreboard:")
+	fmt.Fprintf(w, "  %6s %9s %9s %9s %5s %6s %6s %8s\n",
+		"device", "delivered", "redeliv", "watermark", "lag", "kicks", "evict", "ackbatch")
+	for _, d := range rows {
+		fmt.Fprintf(w, "  %6d %9d %9d %9d %5d %6d %6d %8d\n",
+			d.Device, d.Delivered, d.Redelivered, d.Watermark,
+			d.WatermarkLag, d.SessionKicks, d.Evictions, d.LastAckBatch)
+	}
 }

@@ -47,7 +47,8 @@ func main() {
 	qualityEvery := flag.Int("quality", 0, "online decision-quality oracle: score every Nth decision (0 disables); snapshot at /debug/quality")
 	extended := flag.Bool("extended", false, "add the modelar and summary codecs to the candidate set")
 	workers := flag.Int("workers", 1, "codec-trial worker goroutines (1 = sequential; results are identical at any count)")
-	debugAddr := flag.String("debug-addr", "", "serve /debug/{metrics,vars,trace,pprof} on this address (e.g. 127.0.0.1:0); empty disables")
+	debugAddr := flag.String("debug-addr", "", "serve /debug/{metrics,vars,trace,spans,fleet,pprof} on this address (e.g. 127.0.0.1:0); empty disables")
+	spans := flag.Bool("spans", false, "record segment-lifecycle spans (requires -debug-addr; browse at /debug/spans)")
 	linger := flag.Duration("linger", 0, "keep the process (and -debug-addr endpoints) alive this long after the run")
 	flag.Parse()
 
@@ -72,6 +73,9 @@ func main() {
 	}
 	if *debugAddr != "" {
 		observer := obs.New(0)
+		if *spans {
+			observer.EnableSpans(0)
+		}
 		cfg.Obs = observer
 		addr, stop, err := observer.Serve(*debugAddr)
 		if err != nil {
@@ -81,6 +85,9 @@ func main() {
 		defer func() { _ = stop() }()
 		// The smoke test parses this line to find the ephemeral port.
 		fmt.Printf("debug listening on %s\n", addr)
+	} else if *spans {
+		fmt.Fprintln(os.Stderr, "-spans requires -debug-addr (spans are browsed at /debug/spans)")
+		os.Exit(2)
 	}
 	switch strings.ToLower(*policy) {
 	case "lru", "":

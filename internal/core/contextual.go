@@ -82,7 +82,7 @@ func newContextualCtl(cfg Config, e *OnlineEngine) *contextualCtl {
 		optimism:  cfg.Bandit.Optimism,
 		costFn:    e.costFn,
 		feats:     make([]float64, 0, contextual.NumFeatures),
-		m:         newCtxMetrics(cfg.Obs),
+		m:         newCtxMetrics(cfg.Obs, cfg.DeviceID),
 	}
 	c.lossless = newCtxPhase(e.losslessNames, e.losslessMAB)
 	c.lossy = newCtxPhase(e.lossyNames, e.lossyMAB)
@@ -340,6 +340,9 @@ func absf(v float64) float64 {
 // nil-receiver-safe, all emission on the decision goroutine.
 type ctxMetrics struct {
 	sink obs.TraceSink
+	// health is this device's fleet-board row: deadline rejects and
+	// fallbacks surface per device on /debug/fleet (nil rows no-op).
+	health *obs.DeviceHealth
 
 	rejects   *obs.Counter
 	fallbacks *obs.Counter
@@ -353,13 +356,14 @@ type ctxMetrics struct {
 // in [0,1], so 0.5 is already a gross miss).
 var ctxRatioErrBuckets = []float64{0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.5}
 
-func newCtxMetrics(o *obs.Observer) *ctxMetrics {
+func newCtxMetrics(o *obs.Observer, deviceID uint64) *ctxMetrics {
 	if o == nil {
 		return nil
 	}
 	reg := o.Registry()
 	return &ctxMetrics{
 		sink:      o.Sink(),
+		health:    o.Fleet().Device(deviceID),
 		rejects:   reg.Counter("core.online.deadline_rejects"),
 		fallbacks: reg.Counter("core.online.deadline_fallbacks"),
 		misses:    reg.Counter("core.online.deadline_misses"),
@@ -374,6 +378,7 @@ func (m *ctxMetrics) reject() {
 		return
 	}
 	m.rejects.Inc()
+	m.health.NoteDeadlineReject(1)
 }
 
 // adaedge:decision-goroutine
@@ -411,6 +416,7 @@ func (m *ctxMetrics) fallbackEvent(id uint64, arm int, codec string, predLat, de
 		return
 	}
 	m.fallbacks.Inc()
+	m.health.NoteDeadlineFallback()
 	if m.sink == nil {
 		return
 	}

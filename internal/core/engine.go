@@ -116,6 +116,11 @@ type Config struct {
 	// internal/core/quality.go). Nil disables it; observing never perturbs
 	// decisions, rewards or energy accounting.
 	Quality *quality.Config
+	// DeviceID labels this engine's device on span-stage records and the
+	// fleet health board (see internal/obs). Single-device runs leave it
+	// 0; the fleet harness assigns each simulated device its ID so
+	// device-side spans join the collector's by identity.
+	DeviceID uint64
 	// Workers sizes the parallel codec-trial pool. 1 (the default) keeps
 	// the fully sequential path; set runtime.GOMAXPROCS(0) to fan codec
 	// trials out across cores. Online, OnlineParallel/RunOnlineSegments

@@ -22,6 +22,14 @@ import (
 type onlineMetrics struct {
 	sink obs.TraceSink
 	reg  *obs.Registry
+	// spans is the segment-lifecycle span ring (nil when spans are
+	// disabled on the observer); deviceID labels this engine's records.
+	spans    *obs.SpanRing
+	deviceID uint64
+	// vt accumulates the current segment's virtual time — cost-model
+	// seconds since ingest — across its span stages. Decision-goroutine
+	// only, reset by spanBegin.
+	vt float64
 
 	segments   *obs.Counter
 	lossless   *obs.Counter
@@ -41,7 +49,7 @@ type onlineMetrics struct {
 	compress map[string]*obs.Histogram
 }
 
-func newOnlineMetrics(o *obs.Observer) *onlineMetrics {
+func newOnlineMetrics(o *obs.Observer, deviceID uint64) *onlineMetrics {
 	if o == nil {
 		return nil
 	}
@@ -49,6 +57,8 @@ func newOnlineMetrics(o *obs.Observer) *onlineMetrics {
 	return &onlineMetrics{
 		sink:       o.Sink(),
 		reg:        reg,
+		spans:      o.Spans(),
+		deviceID:   deviceID,
 		segments:   reg.Counter("core.online.segments"),
 		lossless:   reg.Counter("core.online.segments_lossless"),
 		lossy:      reg.Counter("core.online.segments_lossy"),
@@ -76,6 +86,80 @@ func (m *onlineMetrics) trial(codec string, d time.Duration) {
 		m.compress[codec] = h
 	}
 	h.Observe(d.Seconds())
+}
+
+// spanBegin opens a traced segment's span: it resets the virtual-time
+// accumulator and records the ingest stage, returning the segment's trace
+// identity. When spans are disabled it returns 0, which turns every later
+// span call for this segment into a single-branch no-op — the nil-observer
+// hot path stays allocation- and clock-free.
+//
+// adaedge:decision-goroutine
+func (m *onlineMetrics) spanBegin(id uint64, points int) uint64 {
+	if m == nil || m.spans == nil {
+		return 0
+	}
+	trace := obs.TraceOfSegment(id)
+	m.vt = 0
+	m.spans.Record(obs.StageIngest, obs.SpanStage{
+		Device: m.deviceID, Trace: trace, Arm: -1, Value: float64(points),
+	})
+	return trace
+}
+
+// spanFeatures records the features stage: the contextual layer extracted
+// the segment's feature vector and predicted every arm (zero cost in the
+// virtual-time model — prediction is not a codec operation).
+//
+// adaedge:decision-goroutine
+func (m *onlineMetrics) spanFeatures(trace uint64) {
+	if m == nil || trace == 0 {
+		return
+	}
+	m.spans.Record(obs.StageFeatures, obs.SpanStage{
+		Device: m.deviceID, Trace: trace, Arm: -1, VT: m.vt,
+	})
+}
+
+// spanTrial advances the segment's virtual time by one codec trial's
+// cost-model duration and records the trial stage.
+//
+// adaedge:decision-goroutine
+func (m *onlineMetrics) spanTrial(trace uint64, arm int, codec string, cost float64) {
+	if m == nil || trace == 0 {
+		return
+	}
+	m.vt += cost
+	m.spans.Record(obs.StageTrial, obs.SpanStage{
+		Device: m.deviceID, Trace: trace, Arm: arm, Codec: codec,
+		VT: m.vt, Dur: cost,
+	})
+}
+
+// spanSelect records the winning arm's selection.
+//
+// adaedge:decision-goroutine
+func (m *onlineMetrics) spanSelect(trace uint64, arm int, codec string) {
+	if m == nil || trace == 0 {
+		return
+	}
+	m.spans.Record(obs.StageSelect, obs.SpanStage{
+		Device: m.deviceID, Trace: trace, Arm: arm, Codec: codec, VT: m.vt,
+	})
+}
+
+// spanEncode closes the engine half of the span: the winning encoding
+// leaves the decision path with the achieved ratio in Value.
+//
+// adaedge:decision-goroutine
+func (m *onlineMetrics) spanEncode(trace uint64, arm int, codec string, ratio float64) {
+	if m == nil || trace == 0 {
+		return
+	}
+	m.spans.Record(obs.StageEncode, obs.SpanStage{
+		Device: m.deviceID, Trace: trace, Arm: arm, Codec: codec,
+		VT: m.vt, Value: ratio,
+	})
 }
 
 // spec records whether a consumed trial was a speculation hit or had to

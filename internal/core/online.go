@@ -152,7 +152,7 @@ func NewOnlineEngine(cfg Config) (*OnlineEngine, error) {
 	e.pressureBits.Store(math.Float64bits(1))
 	e.losslessMAB = newPolicy(cfg, len(e.losslessNames), 101, "bandit.online.lossless")
 	e.lossyMAB = newPolicy(cfg, len(e.lossyNames), 202, "bandit.online.lossy")
-	e.om = newOnlineMetrics(cfg.Obs)
+	e.om = newOnlineMetrics(cfg.Obs, cfg.DeviceID)
 	e.costFn = cfg.CodecCost
 	if e.costFn == nil {
 		e.costFn = DefaultCodecCost
@@ -322,9 +322,15 @@ func (e *OnlineEngine) process(values []float64, prep *PreparedSegment) (Result,
 	// One consistent target per segment, even if a concurrent Degrade
 	// lands mid-decision.
 	target := e.EffectiveTarget()
+	// Span lifecycle: trace is 0 when spans are disabled, turning every
+	// stage emission below into a single branch.
+	trace := e.om.spanBegin(id, len(values))
 	// Contextual layer: features, per-arm predictions, policy priors and
 	// deadline feasibility for this segment (no-op when disabled).
 	e.ctx.begin(values)
+	if e.ctx != nil {
+		e.om.spanFeatures(trace)
+	}
 	// On oracle-sampled decisions, capture the trials this decision
 	// consumes so the counterfactual evaluation reuses instead of
 	// recomputing them. Nil (the common case) keeps every note a no-op.
@@ -336,7 +342,7 @@ func (e *OnlineEngine) process(values []float64, prep *PreparedSegment) (Result,
 	// Phase 1: lossless, preferred whenever it can meet R (paper: "We
 	// choose the best lossless compression by default").
 	if e.tryLossless(target) {
-		res, enc, ok := e.processLossless(id, values, prep, target, trials)
+		res, enc, ok := e.processLossless(id, trace, values, prep, target, trials)
 		if ok {
 			e.account(res)
 			e.om.decision(res, target, e.Pressure())
@@ -346,7 +352,7 @@ func (e *OnlineEngine) process(values []float64, prep *PreparedSegment) (Result,
 	}
 
 	// Phase 2: lossy selection toward the target ratio.
-	res, enc, err := e.processLossy(id, values, prep, target, trials)
+	res, enc, err := e.processLossy(id, trace, values, prep, target, trials)
 	if err != nil {
 		return Result{}, compress.Encoded{}, err
 	}
@@ -383,7 +389,7 @@ func (e *OnlineEngine) tryLossless(target float64) bool {
 // before concluding the segment cannot be handled losslessly.
 //
 // adaedge:decision-goroutine
-func (e *OnlineEngine) processLossless(id uint64, values []float64, prep *PreparedSegment, target float64, trials *decisionTrials) (Result, compress.Encoded, bool) {
+func (e *OnlineEngine) processLossless(id, trace uint64, values []float64, prep *PreparedSegment, target float64, trials *decisionTrials) (Result, compress.Encoded, bool) {
 	allowed := e.scr.boolMask(len(e.losslessNames), true)
 	if !e.ctx.maskLossless(allowed) {
 		// Every lossless arm misses the predicted deadline; the lossy
@@ -398,8 +404,10 @@ func (e *OnlineEngine) processLossless(id uint64, values []float64, prep *Prepar
 		}
 		allowed[arm] = false
 		name := e.losslessNames[arm]
-		// Every attempt costs energy, including ones the target rejects.
-		e.energy.Charge(e.costFn("encode", name, len(values)))
+		// Every attempt costs energy, including ones the target rejects;
+		// the same cost-model duration advances the span's virtual time.
+		cost := e.costFn("encode", name, len(values))
+		e.energy.Charge(cost)
 		t, ok := prep.losslessTrial(arm)
 		if !ok {
 			codec, _ := e.reg.Lookup(name)
@@ -410,6 +418,7 @@ func (e *OnlineEngine) processLossless(id uint64, values []float64, prep *Prepar
 			e.om.spec(ok)
 		}
 		e.om.trial(name, t.dur)
+		e.om.spanTrial(trace, arm, name, cost)
 		// Inline trials that lose are recycled on the spot — unless the
 		// oracle sampled this decision, in which case it reads the noted
 		// trials after this loop and the buffers must outlive it.
@@ -439,6 +448,8 @@ func (e *OnlineEngine) processLossless(id uint64, values []float64, prep *Prepar
 			t.handOff()
 		}
 		e.ctx.chosen(id, arm, len(values), false, ratio)
+		e.om.spanSelect(trace, arm, name)
+		e.om.spanEncode(trace, arm, name, ratio)
 		return Result{
 			SegmentID: id, Codec: name, Lossy: false, Ratio: ratio,
 			Reward: 1 - minf(ratio, 1), Duration: t.dur,
@@ -454,7 +465,7 @@ func (e *OnlineEngine) processLossless(id uint64, values []float64, prep *Prepar
 // processLossy runs the lossy-selection phase toward the target ratio.
 //
 // adaedge:decision-goroutine
-func (e *OnlineEngine) processLossy(id uint64, values []float64, prep *PreparedSegment, target float64, trials *decisionTrials) (Result, compress.Encoded, error) {
+func (e *OnlineEngine) processLossy(id, trace uint64, values []float64, prep *PreparedSegment, target float64, trials *decisionTrials) (Result, compress.Encoded, error) {
 	allowed := e.scr.boolMask(len(e.lossyNames), false)
 	feasible := false
 	minRatios := prep.minRatioProbes()
@@ -480,7 +491,8 @@ func (e *OnlineEngine) processLossy(id uint64, values []float64, prep *PreparedS
 	e.ctx.applyDeadline(id, allowed)
 	arm := e.lossyMAB.Select(allowed)
 	name := e.lossyNames[arm]
-	e.energy.Charge(e.costFn("encode", name, len(values)))
+	cost := e.costFn("encode", name, len(values))
+	e.energy.Charge(cost)
 
 	t, ok := prep.lossyTrialFor(arm)
 	if !ok {
@@ -492,6 +504,7 @@ func (e *OnlineEngine) processLossy(id uint64, values []float64, prep *PreparedS
 		e.om.spec(ok)
 	}
 	e.om.trial(name, t.dur)
+	e.om.spanTrial(trace, arm, name, cost)
 	if t.err != nil {
 		e.lossyMAB.Update(arm, 0)
 		return Result{}, compress.Encoded{}, fmt.Errorf("core: %s at ratio %.3f: %w", name, target, t.err)
@@ -512,6 +525,8 @@ func (e *OnlineEngine) processLossy(id uint64, values []float64, prep *PreparedS
 	e.lossyMAB.Update(arm, reward)
 	e.ctx.observeLossy(arm, len(values), t.enc.Ratio(), reward)
 	e.ctx.chosen(id, arm, len(values), true, t.enc.Ratio())
+	e.om.spanSelect(trace, arm, name)
+	e.om.spanEncode(trace, arm, name, t.enc.Ratio())
 	return Result{
 		SegmentID: id, Codec: name, Lossy: true, Ratio: t.enc.Ratio(),
 		Reward: reward, AccuracyLoss: e.eval.AccuracyLoss(obs), Duration: t.dur,

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/compress"
 	"repro/internal/datasets"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/transport"
 )
@@ -71,6 +72,15 @@ type FleetConfig struct {
 	// 0.2): every device's connection breaks once its clock crosses it,
 	// and the whole fleet redials.
 	HerdAt float64
+	// Obs optionally attaches the observability substrate: the collector
+	// and every device uplink are instrumented, the span layer is enabled
+	// (sized to the fleet's traffic), and every frame carries its trace
+	// identity over the wire — so each delivered segment closes one
+	// end-to-end span and the run asserts closed == Devices ×
+	// SegmentsPerDevice on top of the sink count. The per-device health
+	// board behind /debug/fleet fills from the same run. Nil skips all of
+	// it (the default; the smoke path stays uninstrumented).
+	Obs *obs.Observer
 }
 
 func (c FleetConfig) withDefaults() FleetConfig {
@@ -128,6 +138,11 @@ type FleetResult struct {
 	// IdleBytesPerDevice is the GC'd heap growth across the run divided
 	// by the fleet size: what one mostly-idle device costs the collector.
 	IdleBytesPerDevice float64
+	// ClosedSpans is the number of end-to-end segment spans (device-side
+	// stages joined by a collector.deliver record under the propagated
+	// trace identity). Always Delivered when FleetConfig.Obs is set; 0
+	// when it is nil.
+	ClosedSpans int
 }
 
 // RunFleet executes one fleet simulation. w (may be nil) receives a
@@ -135,6 +150,11 @@ type FleetResult struct {
 func RunFleet(w io.Writer, cfg FleetConfig) (FleetResult, error) {
 	cfg = cfg.withDefaults()
 	reg := compress.DefaultRegistry(4)
+	// Span sizing: each traced segment records spool.enqueue + wire.send +
+	// wire.ack + collector.deliver, plus one wire.send per retransmission
+	// the fault schedules force — 8× traffic keeps the full fleet's spans
+	// buffered so the closed-span completeness check sees every trace.
+	spans := cfg.Obs.EnableSpans(cfg.Devices * cfg.SegmentsPerDevice * 8)
 	var delivered atomic.Int64
 	col := transport.NewCollectorWith(reg, func(transport.Frame, []float64) {
 		delivered.Add(1)
@@ -142,7 +162,7 @@ func RunFleet(w io.Writer, cfg FleetConfig) (FleetResult, error) {
 		Shards:         cfg.Shards,
 		AckEvery:       cfg.AckEvery,
 		MaxIdleDevices: cfg.MaxIdleDevices,
-	})
+	}).Instrument(cfg.Obs)
 	addr, err := col.Serve("127.0.0.1:0")
 	if err != nil {
 		return FleetResult{}, fmt.Errorf("fleet: %w", err)
@@ -183,6 +203,7 @@ func RunFleet(w io.Writer, cfg FleetConfig) (FleetResult, error) {
 		up, err := transport.DialResilient(transport.ResilientConfig{
 			Addr:          addr.String(),
 			DeviceID:      deviceID,
+			Obs:           cfg.Obs,
 			Protocol:      2,
 			AckEvery:      cfg.AckEvery,
 			Seed:          cfg.Seed + int64(i),
@@ -206,7 +227,11 @@ func RunFleet(w io.Writer, cfg FleetConfig) (FleetResult, error) {
 			defer wg.Done()
 			defer func() { _ = up.Close() }()
 			for s := 0; s < cfg.SegmentsPerDevice; s++ {
-				if err := up.Send(transport.Frame{ID: uint64(s), Label: s % 5, Enc: enc}); err != nil {
+				trace := uint64(0)
+				if spans != nil {
+					trace = obs.TraceOfSegment(uint64(s))
+				}
+				if err := up.Send(transport.Frame{ID: uint64(s), Label: s % 5, Trace: trace, Enc: enc}); err != nil {
 					errs <- fmt.Errorf("fleet device %d: spool segment %d: %w", deviceID, s, err)
 					return
 				}
@@ -245,6 +270,18 @@ func RunFleet(w io.Writer, cfg FleetConfig) (FleetResult, error) {
 	if got := int(delivered.Load()); got != expected {
 		return FleetResult{}, fmt.Errorf("fleet: delivered %d segments, want exactly %d (exactly-once violated or drain incomplete)", got, expected)
 	}
+	closedSpans := 0
+	if spans != nil {
+		// Every delivered segment must have closed one end-to-end span:
+		// device-side stages joined by a collector.deliver record under
+		// the trace identity the wire propagated. WaitDrain already
+		// ordered this — the deliver precedes the ACK, the ACK precedes
+		// the spool release the drain waits on.
+		closedSpans = spans.ClosedSpans()
+		if closedSpans != expected {
+			return FleetResult{}, fmt.Errorf("fleet: %d closed end-to-end spans, want exactly %d (trace propagation broken)", closedSpans, expected)
+		}
+	}
 	idleBytes := 0.0
 	if after.HeapAlloc > before.HeapAlloc {
 		idleBytes = float64(after.HeapAlloc-before.HeapAlloc) / float64(cfg.Devices)
@@ -264,12 +301,17 @@ func RunFleet(w io.Writer, cfg FleetConfig) (FleetResult, error) {
 		WallSeconds:            wall,
 		DevicesXSegmentsPerSec: float64(expected) / wall,
 		IdleBytesPerDevice:     idleBytes,
+		ClosedSpans:            closedSpans,
 	}
 	if w != nil {
-		fmt.Fprintf(w, "fleet: %d devices x %d segments  %8.1f devices*segments/s  %d dup  %d kicked  %d evicted  %d/%d dials failed  %.0f B/idle device\n",
+		fmt.Fprintf(w, "fleet: %d devices x %d segments  %8.1f devices*segments/s  %d dup  %d kicked  %d evicted  %d/%d dials failed  %.0f B/idle device",
 			res.Devices, res.SegmentsPerDevice, res.DevicesXSegmentsPerSec,
 			res.Duplicates, res.SessionsKicked, res.Evictions,
 			res.DialFailures, res.Dials, res.IdleBytesPerDevice)
+		if spans != nil {
+			fmt.Fprintf(w, "  %d spans closed", res.ClosedSpans)
+		}
+		fmt.Fprintln(w)
 	}
 	return res, nil
 }

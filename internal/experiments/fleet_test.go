@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"strings"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 // TestRunFleetExactlyOnce is the fleet contract at unit-test scale: a
@@ -42,6 +44,82 @@ func TestRunFleetExactlyOnce(t *testing.T) {
 	}
 	if res.WatermarkDevices == 0 {
 		t.Fatal("WatermarkDevices = 0, want evicted devices tracked by watermark")
+	}
+}
+
+// TestRunFleetSpansComplete is the tentpole's end-to-end assertion: with
+// the observability substrate attached, a fleet run under faults closes
+// exactly one end-to-end span per delivered segment — the trace identity
+// each device stamps on its frames survives the spool, retransmissions
+// and the AES2 wire header, and joins the collector's deliver record.
+func TestRunFleetSpansComplete(t *testing.T) {
+	o := obs.New(0)
+	res, err := RunFleet(nil, FleetConfig{
+		Devices:           10,
+		SegmentsPerDevice: 4,
+		Seed:              7,
+		MaxIdleDevices:    3,
+		Obs:               o,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 10 * 4
+	if res.ClosedSpans != want {
+		t.Fatalf("ClosedSpans = %d, want %d", res.ClosedSpans, want)
+	}
+	spans := o.Spans()
+	if spans == nil {
+		t.Fatal("RunFleet did not enable spans on the observer")
+	}
+	// Cumulative stage counters: exactly one deliver, enqueue and ack per
+	// delivered segment (dedup and the spool release are exactly-once);
+	// wire.send is at-least-once under retransmission.
+	if got := spans.StageCount(obs.StageCollectorDeliver); got != uint64(want) {
+		t.Fatalf("collector.deliver count = %d, want %d", got, want)
+	}
+	if got := spans.StageCount(obs.StageSpoolEnqueue); got != uint64(want) {
+		t.Fatalf("spool.enqueue count = %d, want %d", got, want)
+	}
+	if got := spans.StageCount(obs.StageWireAck); got != uint64(want) {
+		t.Fatalf("wire.ack count = %d, want %d", got, want)
+	}
+	if got := spans.StageCount(obs.StageWireSend); got < uint64(want) {
+		t.Fatalf("wire.send count = %d, want >= %d", got, want)
+	}
+	// Every group is complete and well-formed: enqueue before send before
+	// deliver per (device, trace), devices in 1..10, traces in 1..4.
+	groups := spans.Groups()
+	if len(groups) != want {
+		t.Fatalf("span groups = %d, want %d", len(groups), want)
+	}
+	for _, g := range groups {
+		if !g.Complete {
+			t.Fatalf("span (device %d, trace %d) incomplete: %+v", g.Device, g.Trace, g.Stages)
+		}
+		if g.Device < 1 || g.Device > 10 || g.Trace < 1 || g.Trace > 4 {
+			t.Fatalf("span identity out of range: device %d trace %d", g.Device, g.Trace)
+		}
+	}
+	// The fleet health board filled from the same run: every device row
+	// reports its full delivery and a drained spool.
+	fb := o.Fleet()
+	if fb.Len() != 10 {
+		t.Fatalf("fleet board rows = %d, want 10", fb.Len())
+	}
+	for _, d := range fb.Snapshot() {
+		if d.Delivered != 4 {
+			t.Fatalf("device %d Delivered = %d, want 4", d.Device, d.Delivered)
+		}
+		if d.SpoolDepth != 0 {
+			t.Fatalf("device %d SpoolDepth = %d, want drained", d.Device, d.SpoolDepth)
+		}
+		if d.Watermark != 4 || d.SpoolAcked != 4 {
+			t.Fatalf("device %d watermark = %d acked = %d, want 4/4", d.Device, d.Watermark, d.SpoolAcked)
+		}
+		if d.WatermarkLag != 0 {
+			t.Fatalf("device %d WatermarkLag = %d, want 0", d.Device, d.WatermarkLag)
+		}
 	}
 }
 

@@ -66,6 +66,8 @@ type Observer struct {
 	ring *Ring
 
 	mu    sync.Mutex
+	spans *SpanRing             // guarded by mu (set once by EnableSpans)
+	fleet *FleetBoard           // guarded by mu (lazily created)
 	pages map[string]func() any // guarded by mu
 }
 
@@ -101,6 +103,55 @@ func (o *Observer) Sink() TraceSink {
 	return o.ring
 }
 
+// EnableSpans turns on the segment-lifecycle span layer: it creates the
+// SpanRing (holding up to ringCap stage records, DefaultSpanRingCap when
+// ringCap <= 0) and registers the per-stage latency histograms
+// (span.stage_seconds.<stage>) the ring feeds. Idempotent — a second call
+// returns the existing ring and ignores ringCap. Spans must be enabled
+// before the engines and transports that should emit them are built:
+// emitters cache the ring pointer at construction. Nil-receiver safe
+// (returns nil, and a nil SpanRing ignores Record).
+func (o *Observer) EnableSpans(ringCap int) *SpanRing {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.spans == nil {
+		o.spans = NewSpanRing(ringCap)
+		for st := Stage(0); st < numSpanStages; st++ {
+			o.spans.hist[st] = o.reg.Histogram("span.stage_seconds."+st.String(), LatencyBuckets)
+		}
+	}
+	return o.spans
+}
+
+// Spans returns the span ring, or nil when spans are disabled or the
+// Observer is nil. Callers cache the result; nil rings no-op.
+func (o *Observer) Spans() *SpanRing {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.spans
+}
+
+// Fleet returns the per-device health board behind /debug/fleet, creating
+// it on first use. Nil-receiver safe (returns nil; a nil board's Device
+// returns nil entries whose update methods no-op).
+func (o *Observer) Fleet() *FleetBoard {
+	if o == nil {
+		return nil
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.fleet == nil {
+		o.fleet = NewFleetBoard()
+	}
+	return o.fleet
+}
+
 // Publish mounts a JSON page under the debug mux: requests to path (which
 // must start with "/debug/") serve snapshot()'s result JSON-encoded.
 // Components register their structured state this way — the quality
@@ -131,9 +182,11 @@ func (o *Observer) page(path string) func() any {
 }
 
 // Handler returns the debug HTTP mux over this Observer (see NewHandler),
-// including any pages registered via Publish.
+// including /debug/spans, /debug/fleet and any pages registered via
+// Publish. The span ring and fleet board resolve per request, so enabling
+// spans after Serve still surfaces them.
 func (o *Observer) Handler() http.Handler {
-	return newHandler(o.Registry(), o.Ring(), o.page)
+	return newHandler(o.Registry(), o.Ring(), o.Spans, o.Fleet, o.page)
 }
 
 // Serve starts the debug endpoint on addr (":0" picks an ephemeral port)

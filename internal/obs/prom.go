@@ -18,6 +18,18 @@ import (
 // PromContentType is the Content-Type of the text exposition format.
 const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
 
+// writeHeader emits the # HELP (when the OBSERVABILITY.md catalogue
+// documents the metric — see MetricHelp) and # TYPE lines for one family.
+func writeHeader(w io.Writer, name, pn, kind string) error {
+	if help := HelpFor(name); help != "" {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", pn, promEscapeHelp(help)); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "# TYPE %s %s\n", pn, kind)
+	return err
+}
+
 // WriteProm renders the snapshot in the Prometheus text exposition format.
 func (s Snapshot) WriteProm(w io.Writer) error {
 	names := make([]string, 0, len(s.Counters))
@@ -27,7 +39,10 @@ func (s Snapshot) WriteProm(w io.Writer) error {
 	sort.Strings(names)
 	for _, name := range names {
 		pn := promName(name)
-		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, s.Counters[name]); err != nil {
+		if err := writeHeader(w, name, pn, "counter"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", pn, s.Counters[name]); err != nil {
 			return err
 		}
 	}
@@ -39,7 +54,10 @@ func (s Snapshot) WriteProm(w io.Writer) error {
 	sort.Strings(names)
 	for _, name := range names {
 		pn := promName(name)
-		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", pn, pn, promFloat(s.Gauges[name])); err != nil {
+		if err := writeHeader(w, name, pn, "gauge"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n", pn, promFloat(s.Gauges[name])); err != nil {
 			return err
 		}
 	}
@@ -52,7 +70,7 @@ func (s Snapshot) WriteProm(w io.Writer) error {
 	for _, name := range names {
 		h := s.Histograms[name]
 		pn := promName(name)
-		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
+		if err := writeHeader(w, name, pn, "histogram"); err != nil {
 			return err
 		}
 		// Prometheus buckets are cumulative and always end at +Inf.
@@ -95,4 +113,11 @@ func promName(name string) string {
 // round-trip representation).
 func promFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// promEscapeHelp escapes a help string per the text exposition format:
+// backslashes and newlines are the only characters HELP lines escape.
+func promEscapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
 }

@@ -99,3 +99,60 @@ func TestMetricsPromFormat(t *testing.T) {
 		}
 	}
 }
+
+// TestHelpFor pins the catalogue resolution rules: exact names win,
+// per-codec families match concrete instances by placeholder prefix, and
+// undocumented names resolve to "" rather than a guess.
+func TestHelpFor(t *testing.T) {
+	if got := HelpFor("core.online.segments"); got != MetricHelp["core.online.segments"] {
+		t.Fatalf("exact lookup = %q", got)
+	}
+	want := MetricHelp["core.online.compress_seconds.<codec>"]
+	if got := HelpFor("core.online.compress_seconds.gzip"); got != want {
+		t.Fatalf("placeholder lookup = %q, want %q", got, want)
+	}
+	if got := HelpFor("span.stage_seconds.collector.deliver"); got == "" {
+		t.Fatal("span stage histogram undocumented")
+	}
+	for _, name := range []string{"core.online.compress_seconds", "made.up.metric", ""} {
+		if got := HelpFor(name); got != "" {
+			t.Fatalf("HelpFor(%q) = %q, want empty", name, got)
+		}
+	}
+}
+
+// TestWritePromHelp checks the # HELP emission: documented metrics get
+// a HELP line directly above their TYPE line (with backslash/newline
+// escaping), placeholder families annotate concrete instances, and
+// undocumented metrics emit TYPE only.
+func TestWritePromHelp(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("core.online.segments").Add(1)
+	reg.Counter("made.up.metric").Add(1)
+	reg.Histogram("core.online.compress_seconds.gzip", LatencyBuckets).Observe(0.001)
+
+	var b strings.Builder
+	if err := reg.Snapshot().WriteProm(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if want := "# HELP core_online_segments " + MetricHelp["core.online.segments"] + "\n# TYPE core_online_segments counter\n"; !strings.Contains(out, want) {
+		t.Fatalf("exposition missing HELP/TYPE pair %q:\n%s", want, out)
+	}
+	if want := "# HELP core_online_compress_seconds_gzip " + MetricHelp["core.online.compress_seconds.<codec>"] + "\n"; !strings.Contains(out, want) {
+		t.Fatalf("exposition missing placeholder-family HELP %q:\n%s", want, out)
+	}
+	if strings.Contains(out, "# HELP made_up_metric") {
+		t.Fatalf("undocumented metric grew a HELP line:\n%s", out)
+	}
+	if !strings.Contains(out, "# TYPE made_up_metric counter") {
+		t.Fatalf("undocumented metric lost its TYPE line:\n%s", out)
+	}
+}
+
+// TestPromEscapeHelp pins the exposition-format escaping for help text.
+func TestPromEscapeHelp(t *testing.T) {
+	if got := promEscapeHelp(`a\b` + "\nc"); got != `a\\b\nc` {
+		t.Fatalf("promEscapeHelp = %q", got)
+	}
+}

@@ -21,6 +21,9 @@ type Event struct {
 	// ID is the segment/frame ID, ACK watermark, or dial ordinal,
 	// depending on Kind.
 	ID uint64 `json:"id"`
+	// Device is the emitting device's ID for transport events (uplink and
+	// collector sources); zero for single-device engine sources.
+	Device uint64 `json:"device,omitempty"`
 	// Arm is the bandit arm index (-1 when not applicable).
 	Arm int `json:"arm"`
 	// Codec is the codec name for selection/decision events.

@@ -133,10 +133,22 @@ func (s *Spool) HeadAfter(id uint64) (*Entry, bool) {
 // acknowledgement: all IDs below next were delivered) and returns how
 // many entries it released.
 func (s *Spool) AckBelow(next uint64) int {
+	return s.AckBelowVisit(next, nil)
+}
+
+// AckBelowVisit is AckBelow with a per-entry visitor: visit (may be nil)
+// is called under the spool lock for each released entry, in ID order,
+// before the entry is dropped. The uplink uses it to close each frame's
+// wire.ack span stage with the entry's trace identity; visitors must not
+// retain the entry or call back into the spool.
+func (s *Spool) AckBelowVisit(next uint64, visit func(*Entry)) int {
 	s.mu.Lock()
 	n := 0
 	for n < len(s.entries) && s.entries[n].ID < next {
 		s.bytes -= int64(s.entries[n].Enc.Size())
+		if visit != nil {
+			visit(s.entries[n])
+		}
 		n++
 	}
 	if n > 0 {

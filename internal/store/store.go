@@ -21,6 +21,10 @@ type Entry struct {
 	Level int
 	// Label is the segment's class label, carried for ML evaluation.
 	Label int
+	// Trace is the segment's span identity (0 = untraced), carried through
+	// the uplink spool so retransmissions keep the original identity and
+	// the wire can propagate it to the collector (see internal/obs).
+	Trace uint64
 	// StartSec and EndSec bound the segment's span on the device's
 	// virtual clock, enabling time-range queries.
 	StartSec, EndSec float64

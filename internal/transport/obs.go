@@ -19,7 +19,10 @@ import (
 
 // uplinkMetrics is the ResilientUplink's cached obs handles.
 type uplinkMetrics struct {
-	sink obs.TraceSink
+	sink     obs.TraceSink
+	spans    *obs.SpanRing      // nil when spans are disabled
+	health   *obs.DeviceHealth  // this device's fleet-board row
+	deviceID uint64
 
 	dials     *obs.Counter
 	dialFails *obs.Counter
@@ -35,13 +38,16 @@ type uplinkMetrics struct {
 	rtt     *obs.Histogram
 }
 
-func newUplinkMetrics(o *obs.Observer) *uplinkMetrics {
+func newUplinkMetrics(o *obs.Observer, deviceID uint64) *uplinkMetrics {
 	if o == nil {
 		return nil
 	}
 	reg := o.Registry()
 	return &uplinkMetrics{
 		sink:      o.Sink(),
+		spans:     o.Spans(),
+		health:    o.Fleet().Device(deviceID),
+		deviceID:  deviceID,
 		dials:     reg.Counter("transport.uplink.dials"),
 		dialFails: reg.Counter("transport.uplink.dial_failures"),
 		sends:     reg.Counter("transport.uplink.sends"),
@@ -81,7 +87,7 @@ func (m *uplinkMetrics) event(e Event) {
 		m.backoffs.Inc()
 	}
 	if m.sink != nil {
-		ev := obs.Event{Source: "transport.uplink", Kind: e.Kind, ID: e.ID, Err: e.Err}
+		ev := obs.Event{Source: "transport.uplink", Kind: e.Kind, ID: e.ID, Device: m.deviceID, Err: e.Err}
 		if e.Kind == "backoff" {
 			ev.Value = e.Wait.Seconds()
 		}
@@ -96,6 +102,54 @@ func (m *uplinkMetrics) spoolDepth(n int) {
 	}
 	m.pending.Set(float64(n))
 	m.depth.Observe(float64(n))
+	m.health.SetSpoolDepth(int64(n))
+}
+
+// spanEnqueue closes the spool.enqueue stage for a traced frame entering
+// the spool (untraced frames stay span-silent) and advances the fleet
+// board's spooled watermark.
+func (m *uplinkMetrics) spanEnqueue(trace, frameID uint64, depth int) {
+	if m == nil {
+		return
+	}
+	m.health.NoteSpooled(frameID)
+	if m.spans == nil || trace == 0 {
+		return
+	}
+	m.spans.Record(obs.StageSpoolEnqueue, obs.SpanStage{
+		Device: m.deviceID, Trace: trace, Arm: -1, Value: float64(depth),
+	})
+}
+
+// spanSend records the wire.send stage: the traced frame left the device
+// over the wire (retransmissions record one stage each).
+func (m *uplinkMetrics) spanSend(trace, frameID uint64) {
+	if m == nil || m.spans == nil || trace == 0 {
+		return
+	}
+	m.spans.Record(obs.StageWireSend, obs.SpanStage{
+		Device: m.deviceID, Trace: trace, Arm: -1, Value: float64(frameID),
+	})
+}
+
+// spanAck records the wire.ack stage: the collector's cumulative ACK
+// covered the traced frame and the spool released it.
+func (m *uplinkMetrics) spanAck(trace, frameID uint64) {
+	if m == nil || m.spans == nil || trace == 0 {
+		return
+	}
+	m.spans.Record(obs.StageWireAck, obs.SpanStage{
+		Device: m.deviceID, Trace: trace, Arm: -1, Value: float64(frameID),
+	})
+}
+
+// ackWatermark mirrors the device-side cumulative ACK watermark onto the
+// fleet board.
+func (m *uplinkMetrics) ackWatermark(next uint64) {
+	if m == nil {
+		return
+	}
+	m.health.SetSpoolAcked(next)
 }
 
 // reject counts frames the bounded spool refused (caller sheds them).
@@ -124,7 +178,9 @@ func (m *uplinkMetrics) rttDone(start time.Time) {
 
 // collectorMetrics is the Collector's cached obs handles.
 type collectorMetrics struct {
-	sink obs.TraceSink
+	sink  obs.TraceSink
+	spans *obs.SpanRing   // nil when spans are disabled
+	fleet *obs.FleetBoard // per-device scoreboard (nil when uninstrumented)
 
 	frames     *obs.Counter
 	duplicates *obs.Counter
@@ -143,6 +199,8 @@ func newCollectorMetrics(o *obs.Observer) *collectorMetrics {
 	reg := o.Registry()
 	return &collectorMetrics{
 		sink:        o.Sink(),
+		spans:       o.Spans(),
+		fleet:       o.Fleet(),
 		frames:      reg.Counter("transport.collector.frames"),
 		duplicates:  reg.Counter("transport.collector.duplicates"),
 		badConns:    reg.Counter("transport.collector.bad_conns"),
@@ -153,10 +211,22 @@ func newCollectorMetrics(o *obs.Observer) *collectorMetrics {
 	}
 }
 
+// device resolves the fleet-board row for a device (nil when the board is
+// off; nil rows no-op). Sessions cache the result at attach so the
+// per-frame path touches atomics only.
+func (m *collectorMetrics) device(id uint64) *obs.DeviceHealth {
+	if m == nil {
+		return nil
+	}
+	return m.fleet.Device(id)
+}
+
 // frame records one received frame: delivered to the sink, or dropped as
 // a redelivery by the per-device watermark. Event.Value carries the
-// device ID.
-func (m *collectorMetrics) frame(deviceID, frameID uint64, delivered bool) {
+// device ID (kept for pre-Device-field consumers; Event.Device carries it
+// too). A traced delivery also closes the span's collector.deliver stage,
+// joining the device-side stages through the propagated identity.
+func (m *collectorMetrics) frame(deviceID, frameID, trace uint64, delivered bool) {
 	if m == nil {
 		return
 	}
@@ -170,7 +240,12 @@ func (m *collectorMetrics) frame(deviceID, frameID uint64, delivered bool) {
 	if m.sink != nil {
 		m.sink.Record(obs.Event{
 			Source: "transport.collector", Kind: kind,
-			ID: frameID, Value: float64(deviceID),
+			ID: frameID, Device: deviceID, Value: float64(deviceID),
+		})
+	}
+	if delivered && trace != 0 && m.spans != nil {
+		m.spans.Record(obs.StageCollectorDeliver, obs.SpanStage{
+			Device: deviceID, Trace: trace, Arm: -1, Value: float64(frameID),
 		})
 	}
 }

@@ -45,6 +45,10 @@ type ResilientUplink struct {
 	wg    sync.WaitGroup
 	// om caches the obs handles; nil when ResilientConfig.Obs is unset.
 	om *uplinkMetrics
+	// ackVisit closes the wire.ack span stage for each entry an ACK
+	// releases (nil when uninstrumented; built once to keep the ACK path
+	// allocation-free).
+	ackVisit func(*store.Entry)
 	// evMu serializes the delivery trace: in pipelined mode events come
 	// from both the pump and the session's ACK reader, and OnEvent
 	// consumers are promised sequential calls.
@@ -194,7 +198,10 @@ func DialResilient(cfg ResilientConfig) (*ResilientUplink, error) {
 		boff: newBackoff(cfg.BackoffBase, cfg.BackoffMax, cfg.Seed),
 		work: make(chan struct{}, 1),
 		done: make(chan struct{}),
-		om:   newUplinkMetrics(cfg.Obs),
+		om:   newUplinkMetrics(cfg.Obs, cfg.DeviceID),
+	}
+	if u.om != nil {
+		u.ackVisit = func(e *store.Entry) { u.om.spanAck(e.Trace, e.ID) }
 	}
 	u.spool = store.NewSpool(cfg.SpoolSegments, cfg.SpoolBytes, cfg.HighWater, cfg.OnPressure)
 	u.wg.Add(1)
@@ -212,13 +219,15 @@ func (u *ResilientUplink) Send(f Frame) error {
 	if closed {
 		return ErrUplinkClosed
 	}
-	err := u.spool.Append(&store.Entry{ID: f.ID, Label: f.Label, Enc: f.Enc})
+	err := u.spool.Append(&store.Entry{ID: f.ID, Label: f.Label, Trace: f.Trace, Enc: f.Enc})
 	if err != nil {
 		u.om.reject()
 		return err
 	}
 	if u.om != nil {
-		u.om.spoolDepth(u.spool.Len())
+		depth := u.spool.Len()
+		u.om.spoolDepth(depth)
+		u.om.spanEnqueue(f.Trace, f.ID, depth)
 	}
 	select {
 	case u.work <- struct{}{}:
@@ -447,7 +456,7 @@ func (u *ResilientUplink) sendOne(e *store.Entry) error {
 	}
 	rttFrom := u.om.rttStart()
 	_ = conn.SetWriteDeadline(time.Now().Add(u.cfg.WriteTimeout))
-	err := w.Send(Frame{ID: e.ID, Label: e.Label, Enc: e.Enc})
+	err := w.Send(Frame{ID: e.ID, Label: e.Label, Trace: e.Trace, Enc: e.Enc})
 	if err == nil {
 		err = w.Flush()
 	}
@@ -462,6 +471,7 @@ func (u *ResilientUplink) sendOne(e *store.Entry) error {
 	u.stats.FramesSent++
 	u.mu.Unlock()
 	u.event(Event{Kind: "send", ID: e.ID})
+	u.om.spanSend(e.Trace, e.ID)
 	_ = conn.SetReadDeadline(time.Now().Add(u.cfg.AckTimeout))
 	next, err := readAck(br)
 	if err != nil {
@@ -472,11 +482,7 @@ func (u *ResilientUplink) sendOne(e *store.Entry) error {
 		return err
 	}
 	u.om.rttDone(rttFrom)
-	u.spool.AckBelow(next)
-	u.notifyDrain()
-	if u.om != nil {
-		u.om.spoolDepth(u.spool.Len())
-	}
+	u.ackTo(next)
 	u.event(Event{Kind: "ack", ID: next})
 	u.boff.reset()
 	return nil
@@ -547,7 +553,7 @@ func (u *ResilientUplink) sessionPipelined() error {
 		default:
 		}
 		_ = conn.SetWriteDeadline(time.Now().Add(u.cfg.WriteTimeout))
-		err := w.Send(Frame{ID: e.ID, Label: e.Label, Enc: e.Enc})
+		err := w.Send(Frame{ID: e.ID, Label: e.Label, Trace: e.Trace, Enc: e.Enc})
 		if err == nil {
 			err = w.Flush()
 		}
@@ -562,6 +568,7 @@ func (u *ResilientUplink) sessionPipelined() error {
 		u.stats.FramesSent++
 		u.mu.Unlock()
 		u.event(Event{Kind: "send", ID: e.ID})
+		u.om.spanSend(e.Trace, e.ID)
 		cursor, sentAny = e.ID, true
 		select {
 		case sent <- struct{}{}:
@@ -595,12 +602,21 @@ func (u *ResilientUplink) ackLoop(conn net.Conn, br *bufio.Reader, sent, stop <-
 			return
 		}
 		acked.Store(true)
-		u.spool.AckBelow(next)
-		u.notifyDrain()
-		if u.om != nil {
-			u.om.spoolDepth(u.spool.Len())
-		}
+		u.ackTo(next)
 		u.event(Event{Kind: "ack", ID: next})
+	}
+}
+
+// ackTo applies one cumulative ACK: it releases every spooled entry below
+// next — closing each traced frame's wire.ack span stage via ackVisit —
+// mirrors the watermark and depth onto the obs surfaces, and wakes drain
+// waiters.
+func (u *ResilientUplink) ackTo(next uint64) {
+	u.spool.AckBelowVisit(next, u.ackVisit)
+	u.notifyDrain()
+	if u.om != nil {
+		u.om.ackWatermark(u.spool.Acked())
+		u.om.spoolDepth(u.spool.Len())
 	}
 }
 

@@ -183,6 +183,12 @@ type deviceState struct {
 	// is on its way out. attach must not revive it — it clears the dead
 	// entry and re-seeds from the table instead. Guarded by mu.
 	evicted bool
+	// health is the device's fleet-board row, cached so the per-frame
+	// path touches atomics only (nil when uninstrumented; nil rows
+	// no-op). Written once under mu by the first attach; a handler that
+	// owns the session may read it without mu afterwards (its own attach
+	// established the happens-before).
+	health *obs.DeviceHealth
 }
 
 // NewCollector builds a receiver with default configuration. sink is
@@ -358,15 +364,21 @@ func (c *Collector) attach(deviceID uint64, conn net.Conn) (*deviceState, uint64
 			dev.idle = false
 			c.idle.Add(-1)
 		}
+		if dev.health == nil {
+			dev.health = c.om.device(deviceID)
+		}
+		dev.health.SetWatermark(dev.next)
 		stale := dev.conn
 		dev.gen++
 		gen := dev.gen
 		dev.conn = conn
+		health := dev.health
 		dev.mu.Unlock()
 		if stale != nil {
 			_ = stale.Close()
 			c.kicked.Add(1)
 			c.om.sessionKicked()
+			health.NoteKick()
 		}
 		return dev, gen
 	}
@@ -414,10 +426,12 @@ func (c *Collector) detach(deviceID uint64, dev *deviceState, gen uint64) {
 	if evict {
 		dev.evicted = true
 	}
+	health := dev.health
 	dev.mu.Unlock()
 	if !evict {
 		return
 	}
+	health.NoteEviction()
 	sh := c.shard(deviceID)
 	sh.mu.Lock()
 	// attach may have cleared the dead struct already (and replaced it
@@ -502,6 +516,8 @@ func (c *Collector) handleReliable(conn net.Conn, br *bufio.Reader) {
 			// below is a redelivery.
 			dev.next = frame.ID + 1
 			c.frames.Add(1)
+			dev.health.NoteDelivery()
+			dev.health.SetWatermark(dev.next)
 			// The sink runs under dev.mu: this is the single-writer
 			// guarantee that per-device sink calls are serialized and
 			// ID-ordered even if a zombie connection lingers. Counters and
@@ -511,9 +527,14 @@ func (c *Collector) handleReliable(conn net.Conn, br *bufio.Reader) {
 			release()
 		} else {
 			c.duplicates.Add(1)
+			dev.health.NoteRedelivery()
 		}
-		c.om.frame(h.deviceID, frame.ID, deliver)
+		c.om.frame(h.deviceID, frame.ID, frame.Trace, deliver)
 		ackNext := dev.next
+		// Capture under dev.mu: a concurrent reattach writes dev.health
+		// while this (possibly kicked) session is still draining its read
+		// side, so the field itself must not be touched after the unlock.
+		health := dev.health
 		dev.mu.Unlock()
 		pending++
 		// v1 acks in lockstep (ackEvery == 1); v2 coalesces: ack every
@@ -530,6 +551,7 @@ func (c *Collector) handleReliable(conn net.Conn, br *bufio.Reader) {
 			return
 		}
 		c.om.ackBatch(pending)
+		health.NoteAckBatch(pending)
 		pending = 0
 	}
 }

@@ -16,11 +16,21 @@ type Frame struct {
 	ID uint64
 	// Label is the segment's class label (-1 when unknown).
 	Label int
+	// Trace is the span identity joining this frame's collector-side
+	// delivery to its device-side lifecycle (see internal/obs). Zero
+	// means "no trace": the frame is emitted with the original AES1
+	// header, byte-identical to pre-span senders. Non-zero traces ride
+	// the AES2 header, one extra uvarint after the label.
+	Trace uint64
 	// Enc is the compressed representation plus codec metadata.
 	Enc compress.Encoded
 }
 
 var frameMagic = [4]byte{'A', 'E', 'S', '1'}
+
+// frameMagicV2 marks a traced frame: same layout as AES1 plus one trace
+// uvarint between the label and the codec name. Readers accept both.
+var frameMagicV2 = [4]byte{'A', 'E', 'S', '2'}
 
 // ErrBadFrame is returned on malformed input.
 var ErrBadFrame = errors.New("transport: bad frame")
@@ -62,7 +72,11 @@ func (t *Writer) Send(f Frame) error {
 	if f.Enc.N < 0 || f.Enc.N > maxFramePoints {
 		return fmt.Errorf("%w: point count %d", ErrBadFrame, f.Enc.N)
 	}
-	if _, err := t.w.Write(frameMagic[:]); err != nil {
+	magic := frameMagic
+	if f.Trace != 0 {
+		magic = frameMagicV2
+	}
+	if _, err := t.w.Write(magic[:]); err != nil {
 		return err
 	}
 	if err := t.uvarint(f.ID); err != nil {
@@ -70,6 +84,11 @@ func (t *Writer) Send(f Frame) error {
 	}
 	if err := t.uvarint(zigzag(int64(f.Label))); err != nil {
 		return err
+	}
+	if f.Trace != 0 {
+		if err := t.uvarint(f.Trace); err != nil {
+			return err
+		}
 	}
 	if err := t.uvarint(uint64(len(f.Enc.Codec))); err != nil {
 		return err
@@ -110,7 +129,8 @@ func (t *Reader) Recv() (Frame, error) {
 		}
 		return Frame{}, fmt.Errorf("%w: %v", ErrBadFrame, err)
 	}
-	if magic != frameMagic {
+	traced := magic == frameMagicV2
+	if magic != frameMagic && !traced {
 		return Frame{}, ErrBadFrame
 	}
 	var f Frame
@@ -123,6 +143,11 @@ func (t *Reader) Recv() (Frame, error) {
 		return Frame{}, fmt.Errorf("%w: %v", ErrBadFrame, err)
 	}
 	f.Label = int(unzigzag(labelZZ))
+	if traced {
+		if f.Trace, err = binary.ReadUvarint(t.r); err != nil {
+			return Frame{}, fmt.Errorf("%w: %v", ErrBadFrame, err)
+		}
+	}
 	nameLen, err := binary.ReadUvarint(t.r)
 	if err != nil || nameLen == 0 || nameLen > 255 {
 		return Frame{}, ErrBadFrame
